@@ -1,0 +1,110 @@
+// Command asm assembles, disassembles and functionally executes programs
+// for the reproduction's 32-bit RISC ISA — the same toolchain the
+// workload suite is built on, exposed for writing new benchmarks.
+//
+// Usage:
+//
+//	asm -disasm prog.s                 # listing with instruction indices
+//	asm -run prog.s                    # execute; print exit state
+//	asm -run prog.s -trace -max 20     # per-instruction execution trace
+//	asm -run prog.s -timing            # run under the OoO timing model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"buspower/internal/cpu"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		disasm   = flag.Bool("disasm", false, "print the assembled instruction listing")
+		runIt    = flag.Bool("run", false, "execute the program functionally")
+		timing   = flag.Bool("timing", false, "with -run: use the out-of-order timing model and report IPC")
+		traceIt  = flag.Bool("trace", false, "with -run: print each executed instruction")
+		maxInstr = flag.Uint64("max", 10_000_000, "instruction budget")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("need exactly one source file")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	p, err := cpu.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+
+	if *disasm {
+		fmt.Printf("# %d instructions, %d data bytes\n", len(p.Instrs), len(p.Data))
+		labelsAt := map[int32][]string{}
+		for name, addr := range p.Labels {
+			if int(addr) <= len(p.Instrs) {
+				labelsAt[addr] = append(labelsAt[addr], name)
+			}
+		}
+		for i, in := range p.Instrs {
+			for _, l := range labelsAt[int32(i)] {
+				fmt.Printf("%s:\n", l)
+			}
+			fmt.Printf("%5d:  %s\n", i, in)
+		}
+	}
+
+	if !*runIt {
+		if !*disasm {
+			fmt.Printf("assembled ok: %d instructions, %d data bytes\n", len(p.Instrs), len(p.Data))
+		}
+		return nil
+	}
+
+	if *timing {
+		sim, err := cpu.NewSimulator(p, cpu.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		tr := sim.Run(*maxInstr, 0)
+		fmt.Printf("instructions: %d\ncycles:       %d\nIPC:          %.3f\n",
+			tr.Instructions, tr.Cycles, tr.IPC)
+		fmt.Printf("L1D miss:     %.2f%%\nL2 miss:      %.2f%%\nbranch acc:   %.2f%%\n",
+			100*tr.L1DMissRate, 100*tr.L2MissRate, 100*tr.BranchAccuracy)
+		fmt.Printf("bus beats:    %d register, %d memory\n", len(tr.RegisterBus), len(tr.MemoryBus))
+		return nil
+	}
+
+	core, err := cpu.NewCore(p)
+	if err != nil {
+		return err
+	}
+	var executed uint64
+	for !core.Halted() && executed < *maxInstr {
+		info := core.Step()
+		executed++
+		if *traceIt {
+			fmt.Printf("%5d:  %-28s", info.Index, info.Instr)
+			if info.IsLoad || info.IsStore {
+				fmt.Printf("  [%#x] = %#x", info.Addr, info.Data)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("halted=%v after %d instructions\n", core.Halted(), executed)
+	for r := 1; r < 32; r++ {
+		if core.R[r] != 0 {
+			fmt.Printf("  r%-2d = %d (%#x)\n", r, int32(core.R[r]), core.R[r])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Command buspower reproduces the tables and figures of "Exploiting
+// Prediction to Reduce Power on Buses" (Wen, UCB/CSD-3-1294).
+//
+// Usage:
+//
+//	buspower -list
+//	buspower -exp table3
+//	buspower -exp fig15,fig16 -quick
+//	buspower -exp all -o results/
+//
+// Each experiment prints (or writes) a TSV table whose series correspond
+// to the paper's artifact; see DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"buspower/internal/experiments"
+	"buspower/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "buspower:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		exp       = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		quick     = flag.Bool("quick", false, "reduced sweeps and trace lengths (smoke test)")
+		instrs    = flag.Uint64("instrs", 0, "override max simulated instructions per workload")
+		values    = flag.Int("values", 0, "override max captured bus values per workload")
+		outDir    = flag.String("o", "", "write one <id>.tsv per experiment into this directory instead of stdout")
+		verbose   = flag.Bool("v", false, "print progress to stderr")
+		reportOut = flag.String("report", "", "write a Markdown self-check report (paper vs measured) to this file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		titles := experiments.Titles()
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, titles[id])
+		}
+		return nil
+	}
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *instrs > 0 {
+		cfg.Run.MaxInstructions = *instrs
+	}
+	if *values > 0 {
+		cfg.Run.MaxBusValues = *values
+	}
+
+	if *reportOut != "" {
+		r, err := report.Build(cfg)
+		if err != nil {
+			return err
+		}
+		md := r.Markdown()
+		if *reportOut == "-" {
+			fmt.Print(md)
+			return nil
+		}
+		if err := os.WriteFile(*reportOut, []byte(md), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *reportOut)
+		return nil
+	}
+
+	if *exp == "" {
+		flag.Usage()
+		return fmt.Errorf("no experiment selected (use -exp, -report or -list)")
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "running %s...\n", id)
+		}
+		tbl, err := experiments.Run(id, cfg)
+		if err != nil {
+			return err
+		}
+		if *outDir == "" {
+			fmt.Print(tbl.TSV())
+			fmt.Println()
+			continue
+		}
+		path := filepath.Join(*outDir, id+".tsv")
+		if err := os.WriteFile(path, []byte(tbl.TSV()), 0o644); err != nil {
+			return err
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	return nil
+}

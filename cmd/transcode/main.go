@@ -1,0 +1,174 @@
+// Command transcode applies one of the paper's coding schemes to a bus
+// trace and reports the activity and energy consequences: transitions,
+// coupling events, normalized energy removed, and — for the window design
+// — break-even wire lengths per technology.
+//
+// Usage:
+//
+//	transcode -coder window-8 -in gcc.trc
+//	transcode -coder context-32x8 -workload gcc -bus reg
+//	transcode -coder businvert -workload swim -bus mem -lambda 0.67
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"buspower/internal/circuit"
+	"buspower/internal/coding"
+	"buspower/internal/energy"
+	"buspower/internal/trace"
+	"buspower/internal/wire"
+	"buspower/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "transcode:", err)
+		os.Exit(1)
+	}
+}
+
+// buildCoder parses a coder spec:
+//
+//	raw | businvert | inversion-N | spatial-W | stride-K |
+//	window-N | context-TxS | contextt-TxS (transition-based)
+func buildCoder(spec string, lambda float64) (coding.Transcoder, int, error) {
+	const width = 32
+	switch {
+	case spec == "raw":
+		return coding.NewRaw(width), 0, nil
+	case spec == "businvert":
+		tc, err := coding.NewBusInvert(width, lambda)
+		return tc, 0, err
+	case strings.HasPrefix(spec, "inversion-"):
+		n, err := strconv.Atoi(spec[len("inversion-"):])
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad inversion spec %q", spec)
+		}
+		pats, err := coding.DefaultInversionPatterns(width, n)
+		if err != nil {
+			return nil, 0, err
+		}
+		tc, err := coding.NewInversion(width, pats, lambda)
+		return tc, 0, err
+	case strings.HasPrefix(spec, "spatial-"):
+		w, err := strconv.Atoi(spec[len("spatial-"):])
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad spatial spec %q", spec)
+		}
+		tc, err := coding.NewSpatial(w)
+		return tc, 0, err
+	case strings.HasPrefix(spec, "stride-"):
+		k, err := strconv.Atoi(spec[len("stride-"):])
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad stride spec %q", spec)
+		}
+		tc, err := coding.NewStride(width, k, lambda)
+		return tc, 0, err
+	case strings.HasPrefix(spec, "window-"):
+		n, err := strconv.Atoi(spec[len("window-"):])
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad window spec %q", spec)
+		}
+		tc, err := coding.NewWindow(width, n, lambda)
+		return tc, n, err
+	case strings.HasPrefix(spec, "context-"), strings.HasPrefix(spec, "contextt-"):
+		transition := strings.HasPrefix(spec, "contextt-")
+		rest := strings.TrimPrefix(strings.TrimPrefix(spec, "contextt-"), "context-")
+		parts := strings.Split(rest, "x")
+		if len(parts) != 2 {
+			return nil, 0, fmt.Errorf("bad context spec %q (want context-<table>x<shift>)", spec)
+		}
+		tbl, err1 := strconv.Atoi(parts[0])
+		sr, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, 0, fmt.Errorf("bad context spec %q", spec)
+		}
+		tc, err := coding.NewContext(coding.ContextConfig{
+			Width: width, TableSize: tbl, ShiftEntries: sr,
+			DividePeriod: 4096, TransitionBased: transition, Lambda: lambda,
+		})
+		return tc, tbl + sr, err
+	default:
+		return nil, 0, fmt.Errorf("unknown coder %q", spec)
+	}
+}
+
+func run() error {
+	var (
+		coder  = flag.String("coder", "window-8", "coding scheme (raw|businvert|inversion-N|spatial-W|stride-K|window-N|context-TxS|contextt-TxS)")
+		in     = flag.String("in", "", "input trace file (from tracegen)")
+		name   = flag.String("workload", "", "simulate this workload instead of reading a file")
+		bus    = flag.String("bus", "reg", "bus to capture with -workload: reg or mem")
+		lambda = flag.Float64("lambda", 1.0, "coupling ratio Λ for evaluation (and the coder's assumed Λ)")
+		instrs = flag.Uint64("instrs", 1_500_000, "max simulated instructions with -workload")
+		values = flag.Int("values", 120_000, "max bus values with -workload")
+	)
+	flag.Parse()
+
+	var vals []uint64
+	label := ""
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return err
+		}
+		vals, label = tr.Values, tr.Name
+	case *name != "":
+		ts, err := workload.Traces(*name, workload.RunConfig{MaxInstructions: *instrs, MaxBusValues: *values})
+		if err != nil {
+			return err
+		}
+		if *bus == "mem" {
+			vals = ts.Mem
+		} else {
+			vals = ts.Reg
+		}
+		label = *name + "/" + *bus
+	default:
+		flag.Usage()
+		return fmt.Errorf("need -in or -workload")
+	}
+
+	tc, entries, err := buildCoder(*coder, *lambda)
+	if err != nil {
+		return err
+	}
+	res, err := coding.Evaluate(tc, vals, *lambda)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace:          %s (%d values)\n", label, len(vals))
+	fmt.Printf("coder:          %s (%d -> %d wires)\n", res.Scheme, res.DataWidth, res.CodedWidth)
+	fmt.Printf("raw activity:   %d transitions, %d coupling events\n", res.Raw.Transitions(), res.Raw.Couplings())
+	fmt.Printf("coded activity: %d transitions, %d coupling events\n", res.Coded.Transitions(), res.Coded.Couplings())
+	fmt.Printf("energy removed: %.2f%% (Λ=%g)\n", 100*res.EnergyRemoved(), *lambda)
+
+	if entries > 0 && res.Ops.Cycles > 0 && strings.HasPrefix(*coder, "window-") {
+		fmt.Println("\nbreak-even wire lengths (window design):")
+		for _, tech := range wire.Technologies() {
+			a, err := energy.NewAnalysis(tech, res, circuit.WindowDesign, entries)
+			if err != nil {
+				return err
+			}
+			x := a.CrossoverMM()
+			if math.IsInf(x, 1) {
+				fmt.Printf("  %-8s never (coding does not pay on this trace)\n", tech.Name)
+			} else {
+				fmt.Printf("  %-8s %6.1f mm  (transcoder pair %.2f pJ/cycle)\n", tech.Name, x, a.PairEnergyPerCyclePJ())
+			}
+		}
+	}
+	return nil
+}

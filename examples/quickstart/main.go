@@ -1,0 +1,53 @@
+// Quickstart: capture a bus trace from a simulated benchmark, transcode it
+// with the paper's 8-entry window design, and find the wire length where
+// the transcoder starts saving energy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"buspower/internal/circuit"
+	"buspower/internal/coding"
+	"buspower/internal/energy"
+	"buspower/internal/wire"
+	"buspower/internal/workload"
+)
+
+func main() {
+	// 1. Run the "li" SPECint-analog on the out-of-order simulator and
+	//    capture the integer register-file output port.
+	ts, err := workload.Traces("li", workload.RunConfig{
+		MaxInstructions: 400_000,
+		MaxBusValues:    50_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated li: %d instructions, IPC %.2f, %d register-bus values\n",
+		ts.Summary.Instructions, ts.Summary.IPC, len(ts.Reg))
+
+	// 2. Transcode the trace with an 8-entry window dictionary (assumed
+	//    coupling ratio Λ=1) and verify/measure in one call.
+	win, err := coding.NewWindow(32, 8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := coding.Evaluate(win, ts.Reg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("window-8: %.1f%% of Λ-weighted bus activity removed (%d -> %d transitions)\n",
+		100*res.EnergyRemoved(), res.Raw.Transitions(), res.Coded.Transitions())
+
+	// 3. Pay for the encoder/decoder circuits and find the break-even
+	//    wire length at each technology node.
+	for _, tech := range wire.Technologies() {
+		a, err := energy.NewAnalysis(tech, res, circuit.WindowDesign, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: transcoder pair %.2f pJ/cycle, break-even at %.1f mm (at 20mm the bus+transcoder uses %.0f%% of the raw bus energy)\n",
+			tech.Name, a.PairEnergyPerCyclePJ(), a.CrossoverMM(), 100*a.NormalizedTotal(20))
+	}
+}

@@ -1,0 +1,3 @@
+module buspower
+
+go 1.22

@@ -1,0 +1,115 @@
+// Package bus provides the fundamental abstractions of the paper's energy
+// model: bus words, transition vectors, and the per-wire accounting of
+// self transitions (λ_n) and inter-wire coupling events (ψ_n) defined by
+// equations (1)-(3) of "Exploiting Prediction to Reduce Power on Buses".
+//
+// Energy expended by wire n over a trace is modeled as
+//
+//	E_n ∝ L_bus · (λ_n + Λ·ψ_n)
+//
+// where λ_n counts the charge/discharge events on the wire itself and ψ_n
+// counts the cycles in which the relative polarity of wires n and n+1
+// changes (exactly one of the adjacent pair toggles), weighted by the
+// technology-dependent ratio Λ = C_I / C_S between inter-wire and
+// wire-to-substrate capacitance.
+package bus
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Word is the state of up to 64 bus wires; bit n is wire n.
+type Word uint64
+
+// MaxWidth is the widest bus representable by Word.
+const MaxWidth = 64
+
+// Mask returns a Word with the low width bits set.
+// It panics if width is outside [0, MaxWidth].
+func Mask(width int) Word {
+	if width < 0 || width > MaxWidth {
+		panic(fmt.Sprintf("bus: invalid width %d", width))
+	}
+	if width == MaxWidth {
+		return ^Word(0)
+	}
+	return Word(1)<<uint(width) - 1
+}
+
+// Transitions returns the transition vector between two successive bus
+// states: bit n is set iff wire n changes value.
+func Transitions(prev, cur Word) Word {
+	return prev ^ cur
+}
+
+// Weight returns the Hamming weight of w — with transition coding this is
+// the number of wires that expend charge/discharge energy.
+func Weight(w Word) int {
+	return bits.OnesCount64(uint64(w))
+}
+
+// TransitionCount returns the number of wires among the low width bits
+// that toggle between prev and cur (the per-cycle contribution to Σλ_n).
+func TransitionCount(prev, cur Word, width int) int {
+	return Weight((prev ^ cur) & Mask(width))
+}
+
+// CouplingCount returns the number of coupling events across adjacent wire
+// pairs (n, n+1) within the low width bits between states prev and cur;
+// this is the per-cycle contribution to Σψ_n per equation (3):
+//
+//	ψ contribution = |(W_n − W_{n+1}) − (W'_n − W'_{n+1})|
+//
+// with arithmetic differences, so a pair contributes
+//
+//	0 if neither wire toggles, or both toggle in the same direction
+//	  (the voltage across the coupling capacitor is unchanged),
+//	1 if exactly one wire toggles (the coupling cap swings by Vdd),
+//	2 if the wires toggle in opposite directions (the cap swings by 2·Vdd).
+func CouplingCount(prev, cur Word, width int) int {
+	if width < 2 {
+		return 0
+	}
+	m := Mask(width)
+	prev &= m
+	cur &= m
+	t := prev ^ cur
+	rising := cur &^ prev
+	falling := prev &^ cur
+	pm := Mask(width - 1)
+	// Pairs where exactly one wire toggles.
+	single := (t ^ (t >> 1)) & pm
+	// Pairs where the wires toggle in opposite directions.
+	opposite := ((rising & (falling >> 1)) | (falling & (rising >> 1))) & pm
+	return Weight(single) + 2*Weight(opposite)
+}
+
+// Cost returns the Λ-weighted energy cost (in units of wire transitions)
+// of moving the bus from prev to cur:
+//
+//	cost = #transitions + Λ · #coupling events.
+func Cost(prev, cur Word, width int, lambda float64) float64 {
+	return float64(TransitionCount(prev, cur, width)) +
+		lambda*float64(CouplingCount(prev, cur, width))
+}
+
+// ExpectedSelfCoupling returns the expected number of coupling events
+// caused by applying transition vector t to a bus whose wire polarities are
+// uniformly random. Pairs where exactly one wire toggles always cost 1;
+// pairs where both wires toggle cost 0 (same direction) or 2 (opposite
+// directions) with equal probability, i.e. 1 in expectation. The result is
+// expressed in half-events to stay integral: divide by 2 for events.
+//
+// Codebook construction uses this to rank candidate transition vectors by
+// coupling cost without knowing the live bus state.
+func ExpectedSelfCoupling(t Word, width int) int {
+	if width < 2 {
+		return 0
+	}
+	t &= Mask(width)
+	pm := Mask(width - 1)
+	single := (t ^ (t >> 1)) & pm
+	both := (t & (t >> 1)) & pm
+	return 2*Weight(single) + 2*Weight(both) // half-events: 1 event == 2
+}

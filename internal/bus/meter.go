@@ -1,0 +1,134 @@
+package bus
+
+import "fmt"
+
+// Meter accumulates the paper's per-wire activity statistics over a stream
+// of bus states. Feed it the absolute wire state each cycle with Record;
+// it tracks Σλ_n (self transitions, eq. 2) and Σψ_n (coupling events,
+// eq. 3) so that the Λ-weighted energy cost of the trace can be computed
+// for any wire length and technology.
+//
+// The first recorded word establishes the initial bus state and expends no
+// energy.
+type Meter struct {
+	width   int
+	prev    Word
+	started bool
+
+	cycles      uint64
+	transitions uint64 // Σ_n λ_n
+	couplings   uint64 // Σ_n ψ_n
+
+	perWire []uint64 // λ_n per wire (len = width)
+	perPair []uint64 // ψ_n per adjacent pair (len = max(width-1, 0))
+}
+
+// NewMeter returns a Meter for a bus of the given width (1..MaxWidth).
+func NewMeter(width int) *Meter {
+	if width < 1 || width > MaxWidth {
+		panic(fmt.Sprintf("bus: invalid meter width %d", width))
+	}
+	pairs := width - 1
+	return &Meter{
+		width:   width,
+		perWire: make([]uint64, width),
+		perPair: make([]uint64, pairs),
+	}
+}
+
+// Width returns the bus width the meter accounts for.
+func (m *Meter) Width() int { return m.width }
+
+// Record accounts one cycle in which the bus settles to state w.
+func (m *Meter) Record(w Word) {
+	w &= Mask(m.width)
+	if !m.started {
+		m.started = true
+		m.prev = w
+		m.cycles++
+		return
+	}
+	t := m.prev ^ w
+	if t != 0 {
+		m.transitions += uint64(Weight(t))
+		rising := w &^ m.prev
+		falling := m.prev &^ w
+		pm := Mask(m.width - 1)
+		single := (t ^ (t >> 1)) & pm
+		opposite := ((rising & (falling >> 1)) | (falling & (rising >> 1))) & pm
+		m.couplings += uint64(Weight(single)) + 2*uint64(Weight(opposite))
+		for n := 0; t != 0; n++ {
+			if t&1 != 0 {
+				m.perWire[n]++
+			}
+			t >>= 1
+		}
+		for n := 0; single != 0 || opposite != 0; n++ {
+			m.perPair[n] += uint64(single&1) + 2*uint64(opposite&1)
+			single >>= 1
+			opposite >>= 1
+		}
+	}
+	m.prev = w
+	m.cycles++
+}
+
+// Cycles returns the number of recorded cycles (including the first).
+func (m *Meter) Cycles() uint64 { return m.cycles }
+
+// Transitions returns Σ_n λ_n over the recorded trace.
+func (m *Meter) Transitions() uint64 { return m.transitions }
+
+// Couplings returns Σ_n ψ_n over the recorded trace.
+func (m *Meter) Couplings() uint64 { return m.couplings }
+
+// WireTransitions returns λ_n for wire n.
+func (m *Meter) WireTransitions(n int) uint64 { return m.perWire[n] }
+
+// PairCouplings returns ψ_n for the adjacent pair (n, n+1).
+func (m *Meter) PairCouplings(n int) uint64 { return m.perPair[n] }
+
+// Cost returns the Λ-weighted activity Σλ + Λ·Σψ of the recorded trace —
+// the quantity that, multiplied by the per-unit wire energy and the bus
+// length, yields the trace's wire energy (eq. 1).
+func (m *Meter) Cost(lambda float64) float64 {
+	return float64(m.transitions) + lambda*float64(m.couplings)
+}
+
+// CostPerCycle returns Cost(lambda) normalized by the number of
+// energy-expending cycles (cycles - 1); it returns 0 for traces shorter
+// than two cycles.
+func (m *Meter) CostPerCycle(lambda float64) float64 {
+	if m.cycles < 2 {
+		return 0
+	}
+	return m.Cost(lambda) / float64(m.cycles-1)
+}
+
+// State returns the current (most recently recorded) bus state.
+func (m *Meter) State() Word { return m.prev }
+
+// Reset clears all accumulated statistics and the initial-state latch.
+func (m *Meter) Reset() {
+	m.started = false
+	m.prev = 0
+	m.cycles = 0
+	m.transitions = 0
+	m.couplings = 0
+	for i := range m.perWire {
+		m.perWire[i] = 0
+	}
+	for i := range m.perPair {
+		m.perPair[i] = 0
+	}
+}
+
+// MeasureTrace runs a fresh meter over the given sequence of bus states
+// and returns it. It is a convenience for one-shot accounting.
+func MeasureTrace(width int, trace []Word) *Meter {
+	m := NewMeter(width)
+	for _, w := range trace {
+		m.Record(w)
+	}
+	return m
+}

@@ -1,0 +1,264 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"buspower/internal/coding"
+	"buspower/internal/wire"
+)
+
+// DesignKind identifies which of the paper's three laid-out designs a
+// characteristic set describes.
+type DesignKind int
+
+const (
+	// WindowDesign is the 8-entry Window-based transcoder carried to
+	// layout in ST Micro 0.13µm (Figure 33) and scaled to other nodes.
+	WindowDesign DesignKind = iota
+	// ContextDesign is the Context-based transcoder laid out in 0.18µm
+	// (Figure 32); per §5.3.4 its counter and counter-match circuitry add
+	// roughly a third on top of the window design.
+	ContextDesign
+	// InversionDesign is the standard-cell inversion coder with a
+	// carry-save-adder majority voter (§5.4.1).
+	InversionDesign
+)
+
+// String returns the design's display name.
+func (k DesignKind) String() string {
+	switch k {
+	case WindowDesign:
+		return "window"
+	case ContextDesign:
+		return "context"
+	default:
+		return "inversion"
+	}
+}
+
+// OpEnergies decomposes the transcoder's dynamic energy into the
+// per-operation costs of §5.3.2, in pJ. The values for each technology are
+// calibrated so that the 8-entry window encoder's *average* per-cycle
+// energy on SPEC-like traffic reproduces Table 2's "Op energy" column
+// (1.39 pJ at 0.13µm, 1.07 at 0.10µm, 0.55 at 0.07µm).
+type OpEnergies struct {
+	// PerCycle covers the always-on costs of a cycle: input latch, clock
+	// distribution, control FSM, and the transition-coding MuxXorLatch.
+	PerCycle float64
+	// PartialMatch is one entry's selective-precharge low-byte compare.
+	PartialMatch float64
+	// FullMatch is the remaining-bit compare of an entry that passed the
+	// partial phase.
+	FullMatch float64
+	// Shift is one pointer-based shift-register insertion (one entry's
+	// bits rewritten plus tail-pointer update).
+	Shift float64
+	// CounterIncrement is one Johnson counter count (one bit toggle per
+	// stage touched).
+	CounterIncrement float64
+	// CounterCompare is one adjacent-entry counter XOR-equality compare.
+	CounterCompare float64
+	// Swap is one neighbour entry swap through the paper's two-transistor
+	// cross-coupled CAM cell linkage (Figure 31).
+	Swap float64
+	// RawDrive is the extra output-mux work of a raw (miss) cycle.
+	RawDrive float64
+}
+
+// opEnergies130 is the calibrated decomposition at 0.13µm. With the
+// 8-entry window encoder's typical operation mix on the SPEC-analog
+// register-bus traces — 8 partial probes, ≈0.5 full probes, ≈0.5 shifts
+// and raw drives per cycle — the average encoder energy lands on Table 2's
+// 1.39 pJ/cycle (the table2 experiment reports the measured value next to
+// the anchor).
+var opEnergies130 = OpEnergies{
+	PerCycle:         0.61,
+	PartialMatch:     0.048,
+	FullMatch:        0.148,
+	Shift:            0.26,
+	CounterIncrement: 0.045,
+	CounterCompare:   0.060,
+	Swap:             0.22,
+	RawDrive:         0.245,
+}
+
+// techEnergyScale maps a technology to the dynamic-energy scale factor
+// relative to 0.13µm, taken from Table 2's op-energy column
+// (1.07/1.39 and 0.55/1.39); intermediate nodes interpolate log-linearly,
+// matching wire.Interpolate.
+func techEnergyScale(t wire.Technology) (float64, error) {
+	row, err := table2RowFor(t.FeatureNM)
+	if err != nil {
+		return 0, err
+	}
+	return row.op / windowTable2[130].op, nil
+}
+
+// OpEnergiesFor returns the per-operation energy set for a technology.
+func OpEnergiesFor(t wire.Technology) (OpEnergies, error) {
+	s, err := techEnergyScale(t)
+	if err != nil {
+		return OpEnergies{}, err
+	}
+	e := opEnergies130
+	e.PerCycle *= s
+	e.PartialMatch *= s
+	e.FullMatch *= s
+	e.Shift *= s
+	e.CounterIncrement *= s
+	e.CounterCompare *= s
+	e.Swap *= s
+	e.RawDrive *= s
+	return e, nil
+}
+
+// EncoderEnergyPJ converts an encoder's operation counts into total
+// dynamic energy (the paper's statistical methodology, Figure 34).
+func (e OpEnergies) EncoderEnergyPJ(ops coding.OpStats) float64 {
+	return e.PerCycle*float64(ops.Cycles) +
+		e.PartialMatch*float64(ops.PartialMatches) +
+		e.FullMatch*float64(ops.FullMatches) +
+		e.Shift*float64(ops.Shifts) +
+		e.CounterIncrement*float64(ops.CounterIncrements) +
+		e.CounterCompare*float64(ops.CounterCompares) +
+		e.Swap*float64(ops.Swaps+ops.TableWrites) +
+		e.RawDrive*float64(ops.RawSends)
+}
+
+// DecoderEnergyPJ estimates the matching decoder's dynamic energy from the
+// encoder's operation counts. The decoder shares the per-cycle
+// infrastructure, shift-register updates and (for the context design)
+// sorting machinery, but performs no CAM probes: received codes index
+// entries directly.
+func (e OpEnergies) DecoderEnergyPJ(ops coding.OpStats) float64 {
+	return e.PerCycle*float64(ops.Cycles) +
+		e.Shift*float64(ops.Shifts) +
+		e.CounterIncrement*float64(ops.CounterIncrements) +
+		e.CounterCompare*float64(ops.CounterCompares) +
+		e.Swap*float64(ops.Swaps+ops.TableWrites) +
+		e.RawDrive*float64(ops.RawSends)
+}
+
+// PairEnergyPJ returns encoder plus decoder dynamic energy.
+func (e OpEnergies) PairEnergyPJ(ops coding.OpStats) float64 {
+	return e.EncoderEnergyPJ(ops) + e.DecoderEnergyPJ(ops)
+}
+
+// Characteristics reports a design's physical figures of merit, Table 2.
+type Characteristics struct {
+	Tech        wire.Technology
+	Kind        DesignKind
+	Entries     int
+	VoltageV    float64
+	AreaUM2     float64
+	OpEnergyPJ  float64 // nominal average per-cycle encoder energy
+	LeakagePJ   float64 // leakage energy per cycle
+	DelayNS     float64 // data-ready to bus-out
+	CycleTimeNS float64
+}
+
+// table2 anchors: the 8-entry window design per technology, and the
+// 0.13µm inversion coder, exactly as published.
+type table2Row struct {
+	area, op, leak, delay, cycle float64
+}
+
+var windowTable2 = map[int]table2Row{
+	130: {12400, 1.39, 0.00088, 3.1, 4.0},
+	100: {7340, 1.07, 0.00338, 2.4, 3.2},
+	70:  {3600, 0.55, 0.00787, 2.0, 2.7},
+}
+
+var inversionTable2 = table2Row{4700, 1.76, 0.00055, 2.2, 2.2}
+
+// table2RowFor returns the 8-entry window anchors for a feature size,
+// interpolating log-linearly between published nodes (the same rule
+// wire.Interpolate uses) so the scaling studies can sweep feature size.
+func table2RowFor(nm int) (table2Row, error) {
+	if row, ok := windowTable2[nm]; ok {
+		return row, nil
+	}
+	anchors := []int{130, 100, 70}
+	for i := 0; i+1 < len(anchors); i++ {
+		hiNM, loNM := anchors[i], anchors[i+1]
+		if nm < hiNM && nm > loNM {
+			hi, lo := windowTable2[hiNM], windowTable2[loNM]
+			f := (math.Log(float64(hiNM)) - math.Log(float64(nm))) /
+				(math.Log(float64(hiNM)) - math.Log(float64(loNM)))
+			lerp := func(a, b float64) float64 { return a * math.Pow(b/a, f) }
+			return table2Row{
+				area:  lerp(hi.area, lo.area),
+				op:    lerp(hi.op, lo.op),
+				leak:  lerp(hi.leak, lo.leak),
+				delay: lerp(hi.delay, lo.delay),
+				cycle: lerp(hi.cycle, lo.cycle),
+			}, nil
+		}
+	}
+	return table2Row{}, fmt.Errorf("circuit: feature size %dnm outside the anchored range [70, 130]", nm)
+}
+
+// entryScale models how area and energy grow with dictionary size: the
+// input buffers, control and MuxXorLatch are fixed (~35% of the 8-entry
+// design); the ShiftTag array grows linearly.
+func entryScale(entries int) float64 {
+	return 0.35 + 0.65*float64(entries)/8.0
+}
+
+// contextOverhead reflects §5.3.4: counters and counter-match circuitry
+// occupy about a third of the context design's area on top of the
+// window machinery, with commensurate clocking energy.
+const contextOverhead = 1.5
+
+// Characterize returns the Table 2 characteristics of a design at a
+// technology, scaling the published 8-entry window anchors for entry count
+// and design kind. Feature sizes between the published nodes interpolate.
+func Characterize(tech wire.Technology, kind DesignKind, entries int) (Characteristics, error) {
+	row, err := table2RowFor(tech.FeatureNM)
+	if err != nil {
+		return Characteristics{}, err
+	}
+	c := Characteristics{
+		Tech:        tech,
+		Kind:        kind,
+		Entries:     entries,
+		VoltageV:    tech.Vdd,
+		CycleTimeNS: row.cycle,
+	}
+	switch kind {
+	case InversionDesign:
+		if tech.FeatureNM != 130 {
+			return Characteristics{}, fmt.Errorf("circuit: the inversion coder was only characterized at 0.13um")
+		}
+		c.AreaUM2 = inversionTable2.area
+		c.OpEnergyPJ = inversionTable2.op
+		c.LeakagePJ = inversionTable2.leak
+		c.DelayNS = inversionTable2.delay
+		c.CycleTimeNS = inversionTable2.cycle
+		return c, nil
+	case WindowDesign, ContextDesign:
+		if entries < 1 {
+			return Characteristics{}, fmt.Errorf("circuit: entries %d < 1", entries)
+		}
+		s := entryScale(entries)
+		c.AreaUM2 = row.area * s
+		c.OpEnergyPJ = row.op * s
+		c.LeakagePJ = row.leak * s
+		c.DelayNS = row.delay
+		if kind == ContextDesign {
+			c.AreaUM2 *= contextOverhead
+			c.OpEnergyPJ *= contextOverhead
+			c.LeakagePJ *= contextOverhead
+			c.DelayNS *= 1.15 // extra swap/counter clocking in the critical path
+		}
+		return c, nil
+	default:
+		return Characteristics{}, fmt.Errorf("circuit: unknown design kind %d", kind)
+	}
+}
+
+// InversionCoderEnergyPJ returns the inversion coder's per-cycle dynamic
+// energy at 0.13µm — §5.4.3 reports 1.76 pJ on average: the carry-save
+// adder majority voter charges on every cycle regardless of traffic.
+func InversionCoderEnergyPJ() float64 { return inversionTable2.op }

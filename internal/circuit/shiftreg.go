@@ -1,0 +1,103 @@
+package circuit
+
+import "math/bits"
+
+// This file models the two shift-register organizations §5.3.3 compares.
+// In a conventional shift register every insertion moves every entry's
+// bits one slot over; in the paper's pointer-based design ("Pointer-based
+// shift entries", Figure 30) entries stay put — only the oldest entry is
+// overwritten and a one-hot tail pointer advances. The models count
+// flip-flop bit transitions so the energy difference is measurable (see
+// BenchmarkAblationShiftRegister).
+
+// ShiftRegister is the common interface of both organizations.
+type ShiftRegister interface {
+	// Insert shifts v in, displacing the oldest value, and returns the
+	// number of storage bit transitions the insertion caused.
+	Insert(v uint64) int
+	// Entries returns the logical contents, newest first.
+	Entries() []uint64
+	// BitTransitions returns the cumulative storage bit toggles.
+	BitTransitions() uint64
+}
+
+// NaiveShiftRegister physically moves every entry on each insert.
+type NaiveShiftRegister struct {
+	slots   []uint64
+	toggles uint64
+}
+
+// NewNaiveShiftRegister builds a conventional shift register of n entries.
+func NewNaiveShiftRegister(n int) *NaiveShiftRegister {
+	if n < 1 {
+		panic("circuit: shift register needs at least one entry")
+	}
+	return &NaiveShiftRegister{slots: make([]uint64, n)}
+}
+
+// Insert implements ShiftRegister: slot i takes slot i-1's value, slot 0
+// takes v; every slot whose contents change toggles its flip-flops.
+func (s *NaiveShiftRegister) Insert(v uint64) int {
+	flips := 0
+	carry := v
+	for i := range s.slots {
+		flips += bits.OnesCount64(s.slots[i] ^ carry)
+		s.slots[i], carry = carry, s.slots[i]
+	}
+	s.toggles += uint64(flips)
+	return flips
+}
+
+// Entries implements ShiftRegister (newest first — slot order).
+func (s *NaiveShiftRegister) Entries() []uint64 {
+	out := make([]uint64, len(s.slots))
+	copy(out, s.slots)
+	return out
+}
+
+// BitTransitions implements ShiftRegister.
+func (s *NaiveShiftRegister) BitTransitions() uint64 { return s.toggles }
+
+// PointerShiftRegister keeps entries in place and advances a one-hot tail
+// pointer, §5.3.3's energy-saving organization.
+type PointerShiftRegister struct {
+	slots   []uint64
+	head    int // slot holding the newest value
+	toggles uint64
+}
+
+// NewPointerShiftRegister builds a pointer-based shift register.
+func NewPointerShiftRegister(n int) *PointerShiftRegister {
+	if n < 1 {
+		panic("circuit: shift register needs at least one entry")
+	}
+	return &PointerShiftRegister{slots: make([]uint64, n), head: -1}
+}
+
+// Insert implements ShiftRegister: only the oldest slot is rewritten and
+// the one-hot tail pointer moves (two pointer-bit toggles).
+func (s *PointerShiftRegister) Insert(v uint64) int {
+	victim := (s.head + 1) % len(s.slots)
+	flips := bits.OnesCount64(s.slots[victim] ^ v)
+	if len(s.slots) > 1 {
+		flips += 2 // one-hot pointer: old position falls, new rises
+	}
+	s.slots[victim] = v
+	s.head = victim
+	s.toggles += uint64(flips)
+	return flips
+}
+
+// Entries implements ShiftRegister (newest first, walking back from the
+// head).
+func (s *PointerShiftRegister) Entries() []uint64 {
+	n := len(s.slots)
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.slots[((s.head-i)%n+n)%n]
+	}
+	return out
+}
+
+// BitTransitions implements ShiftRegister.
+func (s *PointerShiftRegister) BitTransitions() uint64 { return s.toggles }

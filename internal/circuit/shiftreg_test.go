@@ -1,0 +1,175 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"buspower/internal/stats"
+)
+
+func TestShiftRegistersAgreeOnContents(t *testing.T) {
+	f := func(raw []uint32) bool {
+		naive := NewNaiveShiftRegister(8)
+		ptr := NewPointerShiftRegister(8)
+		for _, v := range raw {
+			naive.Insert(uint64(v))
+			ptr.Insert(uint64(v))
+		}
+		a, b := naive.Entries(), ptr.Entries()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointerShiftCheaperThanNaive(t *testing.T) {
+	rng := stats.NewRNG(9)
+	naive := NewNaiveShiftRegister(8)
+	ptr := NewPointerShiftRegister(8)
+	for i := 0; i < 2000; i++ {
+		v := rng.Uint64() & 0xFFFFFFFF
+		naive.Insert(v)
+		ptr.Insert(v)
+	}
+	if ptr.BitTransitions() >= naive.BitTransitions() {
+		t.Fatalf("pointer-based (%d toggles) should beat naive shifting (%d)",
+			ptr.BitTransitions(), naive.BitTransitions())
+	}
+	// On random 32-bit data the naive register rewrites ~16 bits per slot
+	// per insert; the pointer design rewrites one slot plus 2 pointer
+	// bits: expect at least a 4x saving at 8 entries.
+	if ratio := float64(ptr.BitTransitions()) / float64(naive.BitTransitions()); ratio > 0.25 {
+		t.Errorf("saving too small: ratio %.3f", ratio)
+	}
+}
+
+func TestNaiveShiftExactCount(t *testing.T) {
+	s := NewNaiveShiftRegister(2)
+	// Insert 0b11 into {0,0}: slot0 0->3 (2 flips), slot1 0->0 (0).
+	if got := s.Insert(3); got != 2 {
+		t.Errorf("first insert flipped %d bits, want 2", got)
+	}
+	// Insert 0b01: slot0 3->1 (1 flip), slot1 0->3 (2 flips).
+	if got := s.Insert(1); got != 3 {
+		t.Errorf("second insert flipped %d bits, want 3", got)
+	}
+	if s.BitTransitions() != 5 {
+		t.Errorf("cumulative = %d, want 5", s.BitTransitions())
+	}
+}
+
+func TestPointerShiftExactCount(t *testing.T) {
+	s := NewPointerShiftRegister(4)
+	// First insert: victim slot holds 0; 0b111 -> 3 bit flips + 2 pointer.
+	if got := s.Insert(7); got != 5 {
+		t.Errorf("insert flipped %d bits, want 5", got)
+	}
+	// Entries newest-first must start with 7.
+	if e := s.Entries(); e[0] != 7 {
+		t.Errorf("Entries()[0] = %d", e[0])
+	}
+}
+
+func TestPointerShiftSingleEntryNoPointerCost(t *testing.T) {
+	s := NewPointerShiftRegister(1)
+	if got := s.Insert(1); got != 1 {
+		t.Errorf("single-entry insert flipped %d bits, want 1 (no pointer)", got)
+	}
+}
+
+func TestShiftRegisterValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewNaiveShiftRegister(0) },
+		func() { NewPointerShiftRegister(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("zero-entry register accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSwapCellExchanges(t *testing.T) {
+	s := NewSwapCell(0xAAAA, 0x5555)
+	if err := s.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Values()
+	if a != 0x5555 || b != 0xAAAA {
+		t.Errorf("Swap produced %x, %x", a, b)
+	}
+	if s.Swaps != 1 {
+		t.Errorf("Swaps = %d", s.Swaps)
+	}
+	// A full swap costs six clock edges.
+	if s.ClockEvents != 6 {
+		t.Errorf("ClockEvents = %d, want 6", s.ClockEvents)
+	}
+	// Swapping back restores.
+	if err := s.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	a, b = s.Values()
+	if a != 0xAAAA || b != 0x5555 {
+		t.Errorf("double swap produced %x, %x", a, b)
+	}
+}
+
+func TestSwapCellPhaseDiscipline(t *testing.T) {
+	s := NewSwapCell(1, 2)
+	// φC with feedback enabled is a drive fight.
+	if err := s.Couple(); err == nil {
+		t.Error("Couple with feedback enabled must fail")
+	}
+	if err := s.BreakFeedback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Couple(); err != nil {
+		t.Fatal(err)
+	}
+	// Feedback restore while coupled is illegal.
+	if err := s.RestoreFeedback(); err == nil {
+		t.Error("RestoreFeedback while coupled must fail")
+	}
+	if err := s.BreakFeedback(); err == nil {
+		t.Error("BreakFeedback while coupled must fail")
+	}
+	if err := s.Decouple(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RestoreFeedback(); err != nil {
+		t.Fatal(err)
+	}
+	// Values exchanged exactly once despite the probing.
+	a, b := s.Values()
+	if a != 2 || b != 1 {
+		t.Errorf("values = %d, %d", a, b)
+	}
+}
+
+func TestSwapCellIdempotentPhases(t *testing.T) {
+	s := NewSwapCell(1, 2)
+	if err := s.BreakFeedback(); err != nil {
+		t.Fatal(err)
+	}
+	ev := s.ClockEvents
+	if err := s.BreakFeedback(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ClockEvents != ev {
+		t.Error("repeated BreakFeedback should not burn clock events")
+	}
+	if err := s.Decouple(); err != nil {
+		t.Fatal(err) // decouple when not coupled is a no-op
+	}
+}

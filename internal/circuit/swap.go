@@ -1,0 +1,110 @@
+package circuit
+
+import "fmt"
+
+// SwapCell models the paper's custom CAM cell pair of Figure 31: two
+// cross-coupled inverter cells whose neighbouring linkage (two extra
+// transistors, clock φC) lets the sorting network exchange adjacent
+// frequency-table entries without a full read-modify-write.
+//
+// The swap protocol is a strict phase sequence:
+//
+//  1. break the φH/φN feedback loops of both cells (storage floats),
+//  2. assert φC: each cell's inverter output writes the neighbour,
+//  3. release φC and re-assert the feedback clocks.
+//
+// The model enforces the sequence — asserting φC while feedback is still
+// enabled is the circuit bug the layout had to avoid, and the model
+// reports it — and counts clock events for the energy accounting.
+type SwapCell struct {
+	a, b uint64 // stored values (one "cell" per table entry slice)
+
+	feedbackOn bool
+	coupled    bool
+
+	// ClockEvents counts φH/φN/φC edges driven (the swap energy of
+	// OpEnergies.Swap is calibrated per completed swap, which comprises
+	// six edges: feedback off, φC on, φC off, feedback on).
+	ClockEvents uint64
+	// Swaps counts completed exchanges.
+	Swaps uint64
+}
+
+// NewSwapCell builds a linked cell pair holding the given values.
+func NewSwapCell(a, b uint64) *SwapCell {
+	return &SwapCell{a: a, b: b, feedbackOn: true}
+}
+
+// Values returns the two stored values.
+func (s *SwapCell) Values() (a, b uint64) { return s.a, s.b }
+
+// BreakFeedback opens the φH/φN feedback paths; storage holds dynamically.
+func (s *SwapCell) BreakFeedback() error {
+	if s.coupled {
+		return fmt.Errorf("circuit: cannot gate feedback while φC is asserted")
+	}
+	if s.feedbackOn {
+		s.feedbackOn = false
+		s.ClockEvents += 2 // φH and φN edges
+	}
+	return nil
+}
+
+// Couple asserts φC, letting each cell write its neighbour. Asserting it
+// with feedback still enabled shorts the cross-coupled inverters — the
+// model rejects it.
+func (s *SwapCell) Couple() error {
+	if s.feedbackOn {
+		return fmt.Errorf("circuit: φC asserted while feedback enabled (drive fight)")
+	}
+	if s.coupled {
+		return nil
+	}
+	s.coupled = true
+	s.ClockEvents++
+	// With the loops open and the cross connection closed, the values
+	// exchange: each inverter output writes the opposite cell.
+	s.a, s.b = s.b, s.a
+	return nil
+}
+
+// Decouple releases φC.
+func (s *SwapCell) Decouple() error {
+	if !s.coupled {
+		return nil
+	}
+	s.coupled = false
+	s.ClockEvents++
+	return nil
+}
+
+// RestoreFeedback re-asserts φH/φN, latching the (possibly exchanged)
+// values statically.
+func (s *SwapCell) RestoreFeedback() error {
+	if s.coupled {
+		return fmt.Errorf("circuit: cannot restore feedback while φC is asserted")
+	}
+	if !s.feedbackOn {
+		s.feedbackOn = true
+		s.ClockEvents += 2
+	}
+	return nil
+}
+
+// Swap runs the complete legal phase sequence.
+func (s *SwapCell) Swap() error {
+	if err := s.BreakFeedback(); err != nil {
+		return err
+	}
+	if err := s.Couple(); err != nil {
+		return err
+	}
+	if err := s.Decouple(); err != nil {
+		return err
+	}
+	if err := s.RestoreFeedback(); err != nil {
+		return err
+	}
+	s.Swaps++
+	return nil
+}

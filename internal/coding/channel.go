@@ -1,0 +1,109 @@
+package coding
+
+import (
+	"fmt"
+
+	"buspower/internal/bus"
+)
+
+// The prediction-based transcoders (window, context, stride) share one
+// physical bus protocol, the W_B+2 wire arrangement of the paper's
+// Figure 2: W data wires plus two control wires. The control wires are
+// transition-coded so that holding them steady costs nothing:
+//
+//	control transition 00 — "code" cycle: the data-wire transition vector
+//	                        is a codeword from the shared codebook
+//	                        (all-zero = LAST-value prediction).
+//	control transition 01 — "raw" cycle: the data wires carry the value
+//	                        itself (absolute).
+//	control transition 10 — "raw inverted" cycle: the data wires carry the
+//	                        bitwise complement of the value.
+//
+// On raw cycles the encoder picks plain or inverted form, whichever moves
+// the bus more cheaply under its assumed Λ (inversion coding folded into
+// the miss path, §5.2).
+
+type txMode int
+
+const (
+	modeCode txMode = iota
+	modeRaw
+	modeRawInverted
+)
+
+// channel is the encoder-side bus driver.
+type channel struct {
+	width  int     // data wires
+	lambda float64 // assumed Λ for the raw-vs-inverted choice
+	state  bus.Word
+}
+
+func newChannel(width int, lambda float64) channel {
+	checkWidth(width)
+	return channel{width: width, lambda: lambda}
+}
+
+func (c *channel) busWidth() int { return c.width + 2 }
+
+func (c *channel) ctrlRaw() bus.Word { return bus.Word(1) << uint(c.width) }
+func (c *channel) ctrlInv() bus.Word { return bus.Word(1) << uint(c.width+1) }
+
+// sendCode applies the codeword as a transition vector to the data wires.
+func (c *channel) sendCode(code bus.Word) bus.Word {
+	c.state ^= code & bus.Mask(c.width)
+	return c.state
+}
+
+// sendRaw drives the value (or its complement) onto the data wires and
+// toggles the corresponding control wire. It reports whether the inverted
+// form was chosen.
+func (c *channel) sendRaw(v uint64) (bus.Word, bool) {
+	dataMask := bus.Mask(c.width)
+	keep := c.state &^ dataMask
+	candRaw := (keep | bus.Word(v)&dataMask) ^ c.ctrlRaw()
+	candInv := (keep | ^bus.Word(v)&dataMask) ^ c.ctrlInv()
+	w := c.busWidth()
+	costRaw := bus.Cost(c.state, candRaw, w, c.lambda)
+	costInv := bus.Cost(c.state, candInv, w, c.lambda)
+	if costInv < costRaw {
+		c.state = candInv
+		return c.state, true
+	}
+	c.state = candRaw
+	return c.state, false
+}
+
+func (c *channel) reset() { c.state = 0 }
+
+// decodeChannel is the decoder-side bus observer.
+type decodeChannel struct {
+	width int
+	state bus.Word
+}
+
+func newDecodeChannel(width int) decodeChannel {
+	checkWidth(width)
+	return decodeChannel{width: width}
+}
+
+// observe classifies one received bus state. For modeCode the payload is
+// the data-wire transition vector; for raw modes it is the recovered value.
+func (c *decodeChannel) observe(w bus.Word) (txMode, bus.Word) {
+	t := c.state ^ w
+	c.state = w
+	dataMask := bus.Mask(c.width)
+	rawToggled := t&(bus.Word(1)<<uint(c.width)) != 0
+	invToggled := t&(bus.Word(1)<<uint(c.width+1)) != 0
+	switch {
+	case !rawToggled && !invToggled:
+		return modeCode, t & dataMask
+	case rawToggled && !invToggled:
+		return modeRaw, w & dataMask
+	case invToggled && !rawToggled:
+		return modeRawInverted, ^w & dataMask
+	default:
+		panic(fmt.Sprintf("coding: both control wires toggled in one cycle (transition %#x); encoder/decoder desync", t))
+	}
+}
+
+func (c *decodeChannel) reset() { c.state = 0 }

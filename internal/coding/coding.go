@@ -1,0 +1,223 @@
+// Package coding implements the paper's bus transcoding schemes: circuits
+// at either end of a long bus that re-code traffic to minimize wire
+// transitions and cross-coupling events.
+//
+// An Encoder consumes the stream of data values that would have been sent
+// on the bus and produces the absolute wire state of the (possibly wider)
+// coded bus each cycle; a Decoder observes only that wire state and
+// reconstructs the original values. Encoder and decoder run synchronously
+// and deterministically, so arbitrarily complicated shared state stays
+// consistent — the encoder FSM keys its transitions off the input stream,
+// the decoder FSM off the (decoded) output stream, exactly as in Figure 1
+// of the paper.
+//
+// Implemented schemes (paper §4.3):
+//
+//   - Raw: the identity baseline (un-encoded bus).
+//   - Spatial: one-hot transition coding on a 2^W-wire bus.
+//   - Inversion: generalized inversion coding with a configurable pattern
+//     set and a cost function parameterized by the assumed Λ (λ0, λ1, λN
+//     of Figure 15); classic Bus-Invert is the 2-pattern special case.
+//   - Stride: a bank of stride predictors with confidence-ordered codes.
+//   - Window: a shift-register dictionary of recent unique values.
+//   - Context: a frequency table + window front-end, in value-based and
+//     transition-based flavours, kept sorted by the paper's pending-bit
+//     neighbour-swap algorithm with periodic counter division.
+//
+// All stateful schemes fold in LAST-value prediction: the all-zero
+// codeword (which expends no energy under transition coding) means "same
+// value as the previous cycle".
+package coding
+
+import (
+	"fmt"
+
+	"buspower/internal/bus"
+)
+
+// Encoder turns input data values into absolute coded-bus wire states.
+type Encoder interface {
+	// Encode accepts the next data value and returns the wire state the
+	// coded bus settles to this cycle.
+	Encode(value uint64) bus.Word
+	// BusWidth returns the total number of wires of the coded bus,
+	// including control wires.
+	BusWidth() int
+	// Reset returns the encoder to its initial state.
+	Reset()
+}
+
+// Decoder reconstructs data values from observed coded-bus wire states.
+type Decoder interface {
+	// Decode accepts the bus wire state for one cycle and returns the data
+	// value the encoder was given.
+	Decode(w bus.Word) uint64
+	// Reset returns the decoder to its initial state.
+	Reset()
+}
+
+// OpReporter is implemented by encoders that track the hardware operations
+// (match probes, shifts, counter activity, ...) they would perform, for
+// the circuit-level energy model of §5.
+type OpReporter interface {
+	Ops() OpStats
+}
+
+// Transcoder constructs matched encoder/decoder pairs.
+type Transcoder interface {
+	// Name identifies the scheme, e.g. "window-8".
+	Name() string
+	// DataWidth returns the width in bits of the data values transported.
+	DataWidth() int
+	// NewEncoder returns a fresh encoder in its initial state.
+	NewEncoder() Encoder
+	// NewDecoder returns a fresh decoder in its initial state.
+	NewDecoder() Decoder
+}
+
+// OpStats counts the energy-consuming hardware operations of §5.3.2
+// performed by an encoder over a run. The circuit package converts these
+// to pJ using per-technology operation energies.
+type OpStats struct {
+	// Cycles is the number of values encoded.
+	Cycles uint64
+	// PartialMatches counts selective-precharge probes that compared only
+	// the low-order bits of an entry before mismatching.
+	PartialMatches uint64
+	// FullMatches counts probes that went on to compare the full entry.
+	FullMatches uint64
+	// Shifts counts shift-register insertions (pointer-based: one entry
+	// rewritten per shift).
+	Shifts uint64
+	// CounterIncrements counts Johnson-counter increments.
+	CounterIncrements uint64
+	// CounterCompares counts adjacent-entry counter equality comparisons.
+	CounterCompares uint64
+	// Swaps counts neighbour entry swaps in the sorted frequency table.
+	Swaps uint64
+	// TableWrites counts frequency-table entry replacements.
+	TableWrites uint64
+	// CodeSends counts cycles resolved by a dictionary/predictor code.
+	CodeSends uint64
+	// RawSends counts cycles that fell back to raw (or inverted raw) data.
+	RawSends uint64
+	// LastHits counts cycles resolved by LAST-value prediction (code 0).
+	LastHits uint64
+}
+
+// Add accumulates other into s.
+func (s *OpStats) Add(other OpStats) {
+	s.Cycles += other.Cycles
+	s.PartialMatches += other.PartialMatches
+	s.FullMatches += other.FullMatches
+	s.Shifts += other.Shifts
+	s.CounterIncrements += other.CounterIncrements
+	s.CounterCompares += other.CounterCompares
+	s.Swaps += other.Swaps
+	s.TableWrites += other.TableWrites
+	s.CodeSends += other.CodeSends
+	s.RawSends += other.RawSends
+	s.LastHits += other.LastHits
+}
+
+// Result summarizes the effect of transcoding a trace.
+type Result struct {
+	// Scheme is the transcoder name.
+	Scheme string
+	// DataWidth and CodedWidth are the raw and coded bus widths in wires.
+	DataWidth, CodedWidth int
+	// Raw and Coded hold the activity meters of the un-encoded and coded
+	// buses respectively.
+	Raw, Coded *bus.Meter
+	// Lambda is the coupling ratio the meters were evaluated with.
+	Lambda float64
+	// Ops holds the encoder's hardware operation counts, if reported.
+	Ops OpStats
+}
+
+// RawCost returns the Λ-weighted activity of the un-encoded bus.
+func (r Result) RawCost() float64 { return r.Raw.Cost(r.Lambda) }
+
+// CodedCost returns the Λ-weighted activity of the coded bus.
+func (r Result) CodedCost() float64 { return r.Coded.Cost(r.Lambda) }
+
+// EnergyRemoved returns the fraction of Λ-weighted bus activity the
+// transcoder eliminated (the paper's "normalized energy removed", in
+// [ -inf, 1 ]; negative values mean the coding added activity). It
+// returns 0 when the raw trace had no activity.
+func (r Result) EnergyRemoved() float64 {
+	raw := r.RawCost()
+	if raw == 0 {
+		return 0
+	}
+	return 1 - r.CodedCost()/raw
+}
+
+// EnergyRemaining returns CodedCost/RawCost (the paper's "normalized
+// energy percentage remaining" of Figure 15), or 1 when the raw trace had
+// no activity.
+func (r Result) EnergyRemaining() float64 {
+	raw := r.RawCost()
+	if raw == 0 {
+		return 1
+	}
+	return r.CodedCost() / raw
+}
+
+// Evaluate runs the transcoder over the trace, verifies that the decoder
+// reconstructs every value exactly, and returns activity meters for the
+// raw and coded buses computed with coupling ratio lambda.
+//
+// It returns an error (never a silent wrong answer) if the decoder output
+// diverges from the encoder input at any cycle.
+func Evaluate(t Transcoder, trace []uint64, lambda float64) (Result, error) {
+	enc := t.NewEncoder()
+	dec := t.NewDecoder()
+	width := t.DataWidth()
+	mask := uint64(bus.Mask(width))
+
+	raw := bus.NewMeter(width)
+	coded := bus.NewMeter(enc.BusWidth())
+	// Both buses power up in the all-zero state (the encoders' initial
+	// channel state), so the first value sent is charged like any other.
+	raw.Record(0)
+	coded.Record(0)
+	for i, v := range trace {
+		v &= mask
+		raw.Record(bus.Word(v))
+		w := enc.Encode(v)
+		got := dec.Decode(w)
+		if got != v {
+			return Result{}, fmt.Errorf("coding: %s decoder diverged at cycle %d: sent %#x, decoded %#x", t.Name(), i, v, got)
+		}
+		coded.Record(w)
+	}
+	res := Result{
+		Scheme:     t.Name(),
+		DataWidth:  width,
+		CodedWidth: enc.BusWidth(),
+		Raw:        raw,
+		Coded:      coded,
+		Lambda:     lambda,
+	}
+	if or, ok := enc.(OpReporter); ok {
+		res.Ops = or.Ops()
+	}
+	return res, nil
+}
+
+// MustEvaluate is Evaluate but panics on decoder divergence; for use in
+// experiments where divergence is a programming error.
+func MustEvaluate(t Transcoder, trace []uint64, lambda float64) Result {
+	res, err := Evaluate(t, trace, lambda)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func checkWidth(width int) {
+	if width < 1 || width > 62 {
+		panic(fmt.Sprintf("coding: data width %d outside [1, 62] (need 2 control wires within a 64-bit bus word)", width))
+	}
+}

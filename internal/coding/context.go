@@ -1,0 +1,428 @@
+package coding
+
+import (
+	"fmt"
+
+	"buspower/internal/bus"
+)
+
+// ContextTranscoder implements the Context-based transcoder of §4.3
+// (Figures 12-14) and §5.3: a frequency table of the most common bus
+// values (or value transitions), kept sorted by frequency so that an
+// entry's *position* is its codeword (Invariant 1: unique tags; Invariant
+// 2: counters non-increasing down the table), fed by a shift-register
+// front-end that lets new values accumulate counts before competing for a
+// table slot.
+//
+// Sorting uses the paper's low-overhead pending-bit neighbour-swap
+// algorithm (§5.3.1, Figure 27): hits set a pending bit rather than
+// incrementing immediately; each cycle the top entry with a pending bit
+// increments, and an entry whose counter *equals* its upper neighbour's
+// swaps upward, so entries rise one position per cycle using only XOR
+// equality comparators and O(n) neighbour wiring. Counters saturate like
+// the paper's four concatenated 4-bit Johnson counters (max 4096) and are
+// periodically halved (the "counter division time") to track phase
+// changes.
+//
+// Two flavours exist (Figures 13-14): value-based keys entries on bus
+// values; transition-based keys them on (previous, current) value pairs.
+// The paper finds value-based strictly better for equal hardware — there
+// are far more arcs than states — and carries value-based forward.
+type ContextTranscoder struct {
+	cfg ContextConfig
+	cb  *Codebook
+}
+
+// ContextConfig parameterizes a Context-based transcoder.
+type ContextConfig struct {
+	// Width is the data width in bits.
+	Width int
+	// TableSize is the number of frequency table entries.
+	TableSize int
+	// ShiftEntries is the shift-register (window) size; the paper settles
+	// on 8.
+	ShiftEntries int
+	// DividePeriod is the counter division time in cycles (0 disables);
+	// the paper settles on 4096.
+	DividePeriod int
+	// TransitionBased selects the transition-frequency flavour
+	// (Figure 14) instead of value-frequency (Figure 13).
+	TransitionBased bool
+	// Lambda is the assumed Λ used to order codewords and to choose
+	// raw-vs-inverted fallbacks.
+	Lambda float64
+}
+
+// counterMax mirrors the saturation point of four concatenated 4-bit
+// Johnson counters (§5.3.3).
+const counterMax = 4096
+
+// NewContext builds a Context-based transcoder.
+func NewContext(cfg ContextConfig) (*ContextTranscoder, error) {
+	checkWidth(cfg.Width)
+	if cfg.TableSize < 1 {
+		return nil, fmt.Errorf("coding: context table size %d < 1", cfg.TableSize)
+	}
+	if cfg.ShiftEntries < 1 {
+		return nil, fmt.Errorf("coding: context shift register size %d < 1", cfg.ShiftEntries)
+	}
+	if cfg.DividePeriod < 0 {
+		return nil, fmt.Errorf("coding: negative divide period %d", cfg.DividePeriod)
+	}
+	cb, err := NewCodebook(cfg.Width, 1+cfg.TableSize+cfg.ShiftEntries, cfg.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	return &ContextTranscoder{cfg: cfg, cb: cb}, nil
+}
+
+// Name implements Transcoder.
+func (t *ContextTranscoder) Name() string {
+	flavour := "value"
+	if t.cfg.TransitionBased {
+		flavour = "transition"
+	}
+	return fmt.Sprintf("context-%s-t%d-s%d", flavour, t.cfg.TableSize, t.cfg.ShiftEntries)
+}
+
+// DataWidth implements Transcoder.
+func (t *ContextTranscoder) DataWidth() int { return t.cfg.Width }
+
+// Config returns the transcoder's configuration.
+func (t *ContextTranscoder) Config() ContextConfig { return t.cfg }
+
+// NewEncoder implements Transcoder.
+func (t *ContextTranscoder) NewEncoder() Encoder {
+	return &contextEncoder{t: t, st: newContextState(t.cfg), ch: newChannel(t.cfg.Width, t.cfg.Lambda)}
+}
+
+// NewDecoder implements Transcoder.
+func (t *ContextTranscoder) NewDecoder() Decoder {
+	return &contextDecoder{t: t, st: newContextState(t.cfg), ch: newDecodeChannel(t.cfg.Width)}
+}
+
+// ctxKey identifies a dictionary entry: the value itself for value-based
+// operation, or the (previous, current) pair for transition-based.
+type ctxKey struct {
+	prev, cur uint64
+}
+
+type tableEntry struct {
+	key     ctxKey
+	count   uint32
+	pending bool
+	valid   bool
+}
+
+type srEntry struct {
+	key   ctxKey
+	count uint32
+	valid bool
+}
+
+// contextState is the complete shared FSM state; encoder and decoder each
+// own one and keep them identical by construction.
+type contextState struct {
+	cfg    ContextConfig
+	table  []tableEntry
+	sr     []srEntry
+	srHead int
+	last   uint64
+	cycle  uint64
+
+	ops *OpStats // optional, set by the encoder
+}
+
+func newContextState(cfg ContextConfig) contextState {
+	return contextState{
+		cfg:   cfg,
+		table: make([]tableEntry, cfg.TableSize),
+		sr:    make([]srEntry, cfg.ShiftEntries),
+	}
+}
+
+func (s *contextState) makeKey(v uint64) ctxKey {
+	if s.cfg.TransitionBased {
+		return ctxKey{prev: s.last, cur: v}
+	}
+	return ctxKey{cur: v}
+}
+
+// step advances the per-cycle machinery: counter division and one pass of
+// the pending-bit sort. Both ends call it at the top of every cycle,
+// before classifying the new value, so positional codes stay consistent.
+func (s *contextState) step() {
+	s.cycle++
+	if p := s.cfg.DividePeriod; p > 0 && s.cycle%uint64(p) == 0 {
+		for i := range s.table {
+			s.table[i].count /= 2
+		}
+		for i := range s.sr {
+			s.sr[i].count /= 2
+		}
+	}
+	// One top-to-bottom pass of the neighbour-swap sort: each pending
+	// entry either increments (safe: its upper neighbour's counter is
+	// strictly greater, or it is the top) or swaps one position upward
+	// (its upper neighbour's counter is equal, so order is preserved).
+	for e := 0; e < len(s.table); e++ {
+		if !s.table[e].pending {
+			continue
+		}
+		if s.ops != nil {
+			s.ops.CounterCompares++
+		}
+		switch {
+		case e == 0:
+			s.increment(e)
+		case !s.table[e-1].valid:
+			// Unoccupied slot above: rise past it unconditionally (real
+			// hardware has no empty slots; zero-count entries there would
+			// compare equal and be swapped through just the same).
+			s.swap(e)
+		case s.table[e].count < s.table[e-1].count:
+			s.increment(e)
+		case s.table[e].count > s.table[e-1].count:
+			// Ordering disturbed (can only arise transiently around
+			// unoccupied slots): restore it by rising.
+			s.swap(e)
+		case !s.table[e-1].pending:
+			s.swap(e)
+		default:
+			// Upper neighbour is pending with an equal counter: both will
+			// rise by increment; no swap needed to preserve the invariant.
+			s.increment(e)
+		}
+	}
+}
+
+// swap exchanges entry e with its upper neighbour.
+func (s *contextState) swap(e int) {
+	s.table[e], s.table[e-1] = s.table[e-1], s.table[e]
+	if s.ops != nil {
+		s.ops.Swaps++
+	}
+}
+
+func (s *contextState) increment(e int) {
+	if s.table[e].count < counterMax {
+		s.table[e].count++
+	}
+	s.table[e].pending = false
+	if s.ops != nil {
+		s.ops.CounterIncrements++
+	}
+}
+
+// findTable returns the table slot holding key, or -1.
+func (s *contextState) findTable(key ctxKey) int {
+	for i := range s.table {
+		if s.table[i].valid && s.table[i].key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// findSR returns the shift-register slot holding key, or -1.
+func (s *contextState) findSR(key ctxKey) int {
+	for i := range s.sr {
+		if s.sr[i].valid && s.sr[i].key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// update applies the frequency bookkeeping for input value v. It must be
+// called after classification, and identically on both ends.
+func (s *contextState) update(v uint64) {
+	key := s.makeKey(v)
+	if slot := s.findTable(key); slot >= 0 {
+		// A hit to an entry whose pending bit is already set is lost
+		// (§5.3.1 footnote) — correctness is unaffected, some counts are.
+		s.table[slot].pending = true
+	} else if slot := s.findSR(key); slot >= 0 {
+		if s.sr[slot].count < counterMax {
+			s.sr[slot].count++
+		}
+		if s.ops != nil {
+			s.ops.CounterIncrements++
+		}
+	} else {
+		s.insertSR(key)
+	}
+	s.last = v
+}
+
+// insertSR shifts key into the register (pointer-based: one entry
+// rewritten); the evicted entry competes for the frequency table's bottom
+// slot if it out-counts the current least-frequent entry.
+func (s *contextState) insertSR(key ctxKey) {
+	evicted := s.sr[s.srHead]
+	s.sr[s.srHead] = srEntry{key: key, count: 1, valid: true}
+	s.srHead++
+	if s.srHead == len(s.sr) {
+		s.srHead = 0
+	}
+	if s.ops != nil {
+		s.ops.Shifts++
+	}
+	if !evicted.valid {
+		return
+	}
+	bottom := len(s.table) - 1
+	if !s.table[bottom].valid || evicted.count > s.table[bottom].count {
+		count := evicted.count
+		// Preserve Invariant 2 on insertion: the new bottom entry may not
+		// out-count the lowest occupied entry above it (the real hardware
+		// achieves this implicitly by re-earning counts; we clamp, which
+		// keeps strictly more of the earned frequency). Scan past any
+		// still-unoccupied slots.
+		for above := bottom - 1; above >= 0; above-- {
+			if s.table[above].valid {
+				if count > s.table[above].count {
+					count = s.table[above].count
+				}
+				break
+			}
+		}
+		s.table[bottom] = tableEntry{key: evicted.key, count: count, valid: true}
+		if s.ops != nil {
+			s.ops.TableWrites++
+		}
+	}
+}
+
+func (s *contextState) reset() {
+	for i := range s.table {
+		s.table[i] = tableEntry{}
+	}
+	for i := range s.sr {
+		s.sr[i] = srEntry{}
+	}
+	s.srHead = 0
+	s.last = 0
+	s.cycle = 0
+}
+
+// checkInvariants verifies Invariants 1 and 2; used by tests.
+func (s *contextState) checkInvariants() error {
+	seen := make(map[ctxKey]bool)
+	for i, e := range s.table {
+		if !e.valid {
+			continue
+		}
+		if seen[e.key] {
+			return fmt.Errorf("invariant 1 violated: duplicate table key %+v", e.key)
+		}
+		seen[e.key] = true
+		if i > 0 && s.table[i-1].valid && e.count > s.table[i-1].count {
+			return fmt.Errorf("invariant 2 violated at slot %d: %d > %d", i, e.count, s.table[i-1].count)
+		}
+	}
+	for _, e := range s.sr {
+		if e.valid && seen[e.key] {
+			return fmt.Errorf("invariant 1 violated: key %+v in both table and shift register", e.key)
+		}
+	}
+	return nil
+}
+
+type contextEncoder struct {
+	t   *ContextTranscoder
+	st  contextState
+	ch  channel
+	ops OpStats
+}
+
+func (e *contextEncoder) Encode(v uint64) bus.Word {
+	t := e.t
+	v &= uint64(bus.Mask(t.cfg.Width))
+	e.st.ops = &e.ops
+	e.ops.Cycles++
+	e.st.step()
+	key := e.st.makeKey(v)
+	e.countProbes(key)
+
+	var out bus.Word
+	switch {
+	case v == e.st.last:
+		e.ops.LastHits++
+		out = e.ch.sendCode(0)
+	default:
+		if slot := e.st.findTable(key); slot >= 0 {
+			e.ops.CodeSends++
+			out = e.ch.sendCode(t.cb.Code(1 + slot))
+		} else if slot := e.st.findSR(key); slot >= 0 {
+			e.ops.CodeSends++
+			out = e.ch.sendCode(t.cb.Code(1 + t.cfg.TableSize + slot))
+		} else {
+			e.ops.RawSends++
+			out, _ = e.ch.sendRaw(v)
+		}
+	}
+	e.st.update(v)
+	return out
+}
+
+// countProbes models the selective-precharge CAM probe across the
+// frequency table and shift register.
+func (e *contextEncoder) countProbes(key ctxKey) {
+	e.ops.PartialMatches += uint64(len(e.st.table) + len(e.st.sr))
+	for i := range e.st.table {
+		if e.st.table[i].valid && e.st.table[i].key.cur&0xFF == key.cur&0xFF {
+			e.ops.FullMatches++
+		}
+	}
+	for i := range e.st.sr {
+		if e.st.sr[i].valid && e.st.sr[i].key.cur&0xFF == key.cur&0xFF {
+			e.ops.FullMatches++
+		}
+	}
+}
+
+func (e *contextEncoder) BusWidth() int { return e.ch.busWidth() }
+func (e *contextEncoder) Reset() {
+	e.st.reset()
+	e.ch.reset()
+	e.ops = OpStats{}
+}
+func (e *contextEncoder) Ops() OpStats { return e.ops }
+
+type contextDecoder struct {
+	t  *ContextTranscoder
+	st contextState
+	ch decodeChannel
+}
+
+func (d *contextDecoder) Decode(w bus.Word) uint64 {
+	t := d.t
+	d.st.step()
+	mode, payload := d.ch.observe(w)
+	var v uint64
+	switch mode {
+	case modeCode:
+		idx, ok := t.cb.Index(payload)
+		if !ok {
+			panic(fmt.Sprintf("coding: context decoder received non-codeword transition %#x", payload))
+		}
+		switch {
+		case idx == 0:
+			v = d.st.last
+		case idx <= t.cfg.TableSize:
+			v = d.st.table[idx-1].key.cur
+		default:
+			v = d.st.sr[idx-1-t.cfg.TableSize].key.cur
+		}
+	default:
+		v = uint64(payload)
+	}
+	d.st.update(v)
+	return v
+}
+
+func (d *contextDecoder) Reset() {
+	d.st.reset()
+	d.ch.reset()
+}

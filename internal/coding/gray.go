@@ -1,0 +1,67 @@
+package coding
+
+import (
+	"fmt"
+
+	"buspower/internal/bus"
+)
+
+// GrayTranscoder applies reflected binary (Gray) coding to the bus — the
+// classic technique for instruction/address buses, where consecutive
+// values usually differ by small increments: a +1 step in Gray code
+// toggles exactly one wire, and a +2^k step toggles two. It is stateless
+// and adds no wires, making it the cheapest possible encoder, but it does
+// nothing for value (data) traffic — which is why this repository includes
+// it as an address-bus baseline alongside the workzone coder.
+type GrayTranscoder struct {
+	width int
+}
+
+// NewGray builds a Gray-code transcoder.
+func NewGray(width int) (*GrayTranscoder, error) {
+	checkWidth(width)
+	return &GrayTranscoder{width: width}, nil
+}
+
+// Name implements Transcoder.
+func (t *GrayTranscoder) Name() string { return fmt.Sprintf("gray-%d", t.width) }
+
+// DataWidth implements Transcoder.
+func (t *GrayTranscoder) DataWidth() int { return t.width }
+
+// NewEncoder implements Transcoder.
+func (t *GrayTranscoder) NewEncoder() Encoder { return &grayEncoder{width: t.width} }
+
+// NewDecoder implements Transcoder.
+func (t *GrayTranscoder) NewDecoder() Decoder { return &grayDecoder{width: t.width} }
+
+// GrayEncode returns the reflected-binary code of v.
+func GrayEncode(v uint64) uint64 { return v ^ (v >> 1) }
+
+// GrayDecode inverts GrayEncode.
+func GrayDecode(g uint64) uint64 {
+	v := g
+	for shift := uint(1); shift < 64; shift <<= 1 {
+		v ^= v >> shift
+	}
+	return v
+}
+
+type grayEncoder struct {
+	width int
+}
+
+func (e *grayEncoder) Encode(v uint64) bus.Word {
+	return bus.Word(GrayEncode(v)) & bus.Mask(e.width)
+}
+func (e *grayEncoder) BusWidth() int { return e.width }
+func (e *grayEncoder) Reset()        {}
+
+type grayDecoder struct {
+	width int
+}
+
+func (d *grayDecoder) Decode(w bus.Word) uint64 {
+	return GrayDecode(uint64(w)) & uint64(bus.Mask(d.width))
+}
+func (d *grayDecoder) Reset() {}

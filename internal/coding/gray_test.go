@@ -1,0 +1,81 @@
+package coding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"buspower/internal/bus"
+	"buspower/internal/stats"
+)
+
+func TestGrayRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		return GrayDecode(GrayEncode(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraySingleToggleOnIncrement(t *testing.T) {
+	for v := uint64(0); v < 10000; v++ {
+		g1, g2 := GrayEncode(v), GrayEncode(v+1)
+		if bus.Weight(bus.Word(g1^g2)) != 1 {
+			t.Fatalf("gray(%d) -> gray(%d) toggles %d bits", v, v+1, bus.Weight(bus.Word(g1^g2)))
+		}
+	}
+}
+
+func TestGrayTranscoderRoundTrip(t *testing.T) {
+	g, err := NewGray(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(2)
+	trace := make([]uint64, 3000)
+	for i := range trace {
+		trace[i] = rng.Uint64() & 0xFFFFFFFF
+	}
+	if _, err := Evaluate(g, trace, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrayBeatsRawOnSequentialAddresses(t *testing.T) {
+	trace := make([]uint64, 4096)
+	for i := range trace {
+		trace[i] = uint64(0x8000 + i) // +1 stride: gray's best case
+	}
+	g, _ := NewGray(32)
+	res := MustEvaluate(g, trace, 1)
+	if res.EnergyRemoved() <= 0.3 {
+		t.Errorf("gray coding removed only %.3f on a +1 sweep", res.EnergyRemoved())
+	}
+	// Binary counting costs ~2 transitions per increment on average
+	// (carries); gray costs exactly 1, so transitions should halve.
+	if ratio := float64(res.Coded.Transitions()) / float64(res.Raw.Transitions()); ratio > 0.6 {
+		t.Errorf("gray transitions ratio %.3f, want ~0.5", ratio)
+	}
+}
+
+func TestGrayNeutralOnRandom(t *testing.T) {
+	// On random data gray coding is a permutation of values: expected
+	// transition counts are unchanged (within noise).
+	rng := stats.NewRNG(3)
+	trace := make([]uint64, 20000)
+	for i := range trace {
+		trace[i] = rng.Uint64() & 0xFFFFFFFF
+	}
+	g, _ := NewGray(32)
+	res := MustEvaluate(g, trace, 1)
+	if r := res.EnergyRemoved(); r > 0.02 || r < -0.02 {
+		t.Errorf("gray coding should be neutral on random traffic, removed %.4f", r)
+	}
+}
+
+func TestGrayAddsNoWires(t *testing.T) {
+	g, _ := NewGray(24)
+	if g.NewEncoder().BusWidth() != 24 {
+		t.Error("gray coding must not widen the bus")
+	}
+}

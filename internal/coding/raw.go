@@ -1,0 +1,46 @@
+package coding
+
+import (
+	"fmt"
+
+	"buspower/internal/bus"
+)
+
+// RawTranscoder is the identity baseline: values travel un-encoded on a
+// bus of exactly DataWidth wires. Every experiment normalizes against it.
+type RawTranscoder struct {
+	width int
+}
+
+// NewRaw returns the identity transcoder for the given data width.
+func NewRaw(width int) *RawTranscoder {
+	checkWidth(width)
+	return &RawTranscoder{width: width}
+}
+
+// Name implements Transcoder.
+func (r *RawTranscoder) Name() string { return fmt.Sprintf("raw-%d", r.width) }
+
+// DataWidth implements Transcoder.
+func (r *RawTranscoder) DataWidth() int { return r.width }
+
+// NewEncoder implements Transcoder.
+func (r *RawTranscoder) NewEncoder() Encoder { return &rawEncoder{width: r.width} }
+
+// NewDecoder implements Transcoder.
+func (r *RawTranscoder) NewDecoder() Decoder { return &rawDecoder{width: r.width} }
+
+type rawEncoder struct{ width int }
+
+func (e *rawEncoder) Encode(v uint64) bus.Word {
+	return bus.Word(v) & bus.Mask(e.width)
+}
+func (e *rawEncoder) BusWidth() int { return e.width }
+func (e *rawEncoder) Reset()        {}
+
+type rawDecoder struct{ width int }
+
+func (d *rawDecoder) Decode(w bus.Word) uint64 {
+	return uint64(w & bus.Mask(d.width))
+}
+func (d *rawDecoder) Reset() {}

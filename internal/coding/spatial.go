@@ -1,0 +1,76 @@
+package coding
+
+import (
+	"fmt"
+
+	"buspower/internal/bus"
+)
+
+// SpatialTranscoder implements the stateless "spatial encoder" of §4.3
+// (Figure 9): the W_B-bit input value is converted to a toggle of the
+// single wire whose index equals the value, on a bus of 2^W_B wires. Every
+// input therefore causes exactly one transition, at the cost of an
+// exponential number of wires — the paper includes it as the
+// minimum-communication-energy extreme, impractical for real widths.
+//
+// Because the coded bus must fit a 64-bit bus word for metering, data
+// widths up to 6 bits are supported; that is enough to demonstrate and
+// test the scheme.
+type SpatialTranscoder struct {
+	width int
+}
+
+// NewSpatial returns a spatial transcoder for data widths 1..6.
+func NewSpatial(width int) (*SpatialTranscoder, error) {
+	if width < 1 || width > 6 {
+		return nil, fmt.Errorf("coding: spatial coder width %d outside [1, 6] (needs 2^width wires)", width)
+	}
+	return &SpatialTranscoder{width: width}, nil
+}
+
+// Name implements Transcoder.
+func (s *SpatialTranscoder) Name() string { return fmt.Sprintf("spatial-%d", s.width) }
+
+// DataWidth implements Transcoder.
+func (s *SpatialTranscoder) DataWidth() int { return s.width }
+
+// NewEncoder implements Transcoder.
+func (s *SpatialTranscoder) NewEncoder() Encoder { return &spatialEncoder{width: s.width} }
+
+// NewDecoder implements Transcoder.
+func (s *SpatialTranscoder) NewDecoder() Decoder { return &spatialDecoder{width: s.width} }
+
+type spatialEncoder struct {
+	width int
+	state bus.Word
+}
+
+func (e *spatialEncoder) Encode(v uint64) bus.Word {
+	v &= uint64(bus.Mask(e.width))
+	e.state ^= bus.Word(1) << uint(v)
+	return e.state
+}
+func (e *spatialEncoder) BusWidth() int { return 1 << uint(e.width) }
+func (e *spatialEncoder) Reset()        { e.state = 0 }
+
+type spatialDecoder struct {
+	width int
+	state bus.Word
+	last  uint64
+}
+
+func (d *spatialDecoder) Decode(w bus.Word) uint64 {
+	t := d.state ^ w
+	d.state = w
+	if bus.Weight(t) != 1 {
+		panic(fmt.Sprintf("coding: spatial decoder saw %d toggles, want exactly 1", bus.Weight(t)))
+	}
+	v := uint64(0)
+	for t != 1 {
+		t >>= 1
+		v++
+	}
+	d.last = v
+	return v
+}
+func (d *spatialDecoder) Reset() { d.state = 0; d.last = 0 }

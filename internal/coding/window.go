@@ -1,0 +1,185 @@
+package coding
+
+import (
+	"fmt"
+
+	"buspower/internal/bus"
+)
+
+// WindowTranscoder implements the Window-based transcoder of §4.3: a
+// pointer-based shift register holds the last N *unique* bus values; a hit
+// sends the low-weight codeword of the matching physical entry, a repeat
+// of the previous value sends the all-zero code (LAST-value folded in,
+// §5.3.3 "pointer-based last value"), and a miss sends the value raw (or
+// inverted, whichever is cheaper) while both ends shift it into the
+// register, evicting the oldest entry.
+//
+// This is the scheme the paper carries through to layout (Figure 33) and
+// crossover analysis, chosen over the Context-based design for its far
+// simpler hardware (§5.4.3).
+type WindowTranscoder struct {
+	width   int
+	entries int
+	lambda  float64
+	cb      *Codebook
+}
+
+// NewWindow builds a window transcoder with the given number of shift
+// register entries; lambda is the assumed Λ used to order codewords and
+// choose raw-vs-inverted fallbacks.
+func NewWindow(width, entries int, lambda float64) (*WindowTranscoder, error) {
+	checkWidth(width)
+	if entries < 1 {
+		return nil, fmt.Errorf("coding: window entries %d < 1", entries)
+	}
+	cb, err := NewCodebook(width, 1+entries, lambda)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowTranscoder{width: width, entries: entries, lambda: lambda, cb: cb}, nil
+}
+
+// Name implements Transcoder.
+func (t *WindowTranscoder) Name() string { return fmt.Sprintf("window-%d", t.entries) }
+
+// DataWidth implements Transcoder.
+func (t *WindowTranscoder) DataWidth() int { return t.width }
+
+// Entries returns the shift register size.
+func (t *WindowTranscoder) Entries() int { return t.entries }
+
+// NewEncoder implements Transcoder.
+func (t *WindowTranscoder) NewEncoder() Encoder {
+	return &windowEncoder{t: t, st: newWindowState(t.entries), ch: newChannel(t.width, t.lambda)}
+}
+
+// NewDecoder implements Transcoder.
+func (t *WindowTranscoder) NewDecoder() Decoder {
+	return &windowDecoder{t: t, st: newWindowState(t.entries), ch: newDecodeChannel(t.width)}
+}
+
+// windowState is the dictionary shared (by construction) between encoder
+// and decoder: a pointer-based ring of entries plus the last input value.
+type windowState struct {
+	entries []uint64
+	head    int // next slot to overwrite (the oldest entry)
+	last    uint64
+}
+
+func newWindowState(n int) windowState {
+	return windowState{entries: make([]uint64, n)}
+}
+
+// find returns the physical slot holding v, or -1.
+func (s *windowState) find(v uint64) int {
+	for i, e := range s.entries {
+		if e == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// insert overwrites the oldest entry with v (pointer-based shift: only one
+// entry's bits change).
+func (s *windowState) insert(v uint64) {
+	s.entries[s.head] = v
+	s.head++
+	if s.head == len(s.entries) {
+		s.head = 0
+	}
+}
+
+func (s *windowState) reset() {
+	for i := range s.entries {
+		s.entries[i] = 0
+	}
+	s.head = 0
+	s.last = 0
+}
+
+type windowEncoder struct {
+	t   *WindowTranscoder
+	st  windowState
+	ch  channel
+	ops OpStats
+}
+
+func (e *windowEncoder) Encode(v uint64) bus.Word {
+	t := e.t
+	v &= uint64(bus.Mask(t.width))
+	e.ops.Cycles++
+	e.countProbes(v)
+	var out bus.Word
+	switch {
+	case v == e.st.last:
+		e.ops.LastHits++
+		out = e.ch.sendCode(0)
+	default:
+		if slot := e.st.find(v); slot >= 0 {
+			e.ops.CodeSends++
+			out = e.ch.sendCode(t.cb.Code(1 + slot))
+		} else {
+			e.ops.RawSends++
+			e.ops.Shifts++
+			e.st.insert(v)
+			out, _ = e.ch.sendRaw(v)
+		}
+	}
+	e.st.last = v
+	return out
+}
+
+// countProbes models the selective-precharge CAM probe of §5.3.3: every
+// entry compares its low 8 bits; only entries passing that partial match
+// charge the comparators of the remaining bits.
+func (e *windowEncoder) countProbes(v uint64) {
+	e.ops.PartialMatches += uint64(len(e.st.entries))
+	for _, entry := range e.st.entries {
+		if entry&0xFF == v&0xFF {
+			e.ops.FullMatches++
+		}
+	}
+}
+
+func (e *windowEncoder) BusWidth() int { return e.ch.busWidth() }
+func (e *windowEncoder) Reset() {
+	e.st.reset()
+	e.ch.reset()
+	e.ops = OpStats{}
+}
+func (e *windowEncoder) Ops() OpStats { return e.ops }
+
+type windowDecoder struct {
+	t  *WindowTranscoder
+	st windowState
+	ch decodeChannel
+}
+
+func (d *windowDecoder) Decode(w bus.Word) uint64 {
+	t := d.t
+	mode, payload := d.ch.observe(w)
+	var v uint64
+	switch mode {
+	case modeCode:
+		idx, ok := t.cb.Index(payload)
+		if !ok {
+			panic(fmt.Sprintf("coding: window decoder received non-codeword transition %#x", payload))
+		}
+		if idx == 0 {
+			v = d.st.last
+		} else {
+			v = d.st.entries[idx-1]
+		}
+	default:
+		v = uint64(payload)
+		d.st.insert(v)
+	}
+	d.st.last = v
+	return v
+}
+
+func (d *windowDecoder) Reset() {
+	d.st.reset()
+	d.ch.reset()
+}

@@ -1,0 +1,344 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// DataBase is the address at which the assembler places the data segment.
+const DataBase = 0x100
+
+// Program is an assembled unit: decoded instructions (PC counts
+// instructions, not bytes — a Harvard arrangement like SimpleScalar's
+// decoded-instruction cache) plus an initialized data image loaded at
+// DataBase.
+type Program struct {
+	Instrs []Instr
+	Data   []byte
+	Labels map[string]int32
+}
+
+// Assemble translates assembly source into a Program. The syntax follows
+// common RISC conventions:
+//
+//	.data                       switch to the data segment
+//	buf:   .space 1024          reserve zeroed bytes
+//	tbl:   .word 1, -2, 0x30    32-bit words
+//	cof:   .float 0.5, 2.25     float32 values
+//	.text                       switch to the text segment
+//	main:  li   r1, 0x12345     load 32-bit immediate (pseudo)
+//	       la   r2, buf         load data address (pseudo)
+//	loop:  lw   r3, 4(r2)
+//	       add  r4, r4, r3
+//	       bne  r3, r0, loop
+//	       halt
+//
+// Comments run from '#' or ';' to end of line. Registers are r0..r31
+// (r0 reads as zero) and f0..f31. Immediate operands of real instructions
+// must fit in 16 bits signed; li/la expand to lui+ori as needed. Further
+// pseudo-instructions: mv, not, neg, j, jr, call, ret, beqz, bnez.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{labels: make(map[string]int32)}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	return a.encode()
+}
+
+// MustAssemble is Assemble for statically known-good sources (workloads).
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type stmtKind int
+
+const (
+	stmtInstr stmtKind = iota
+	stmtWord
+	stmtFloat
+	stmtSpace
+	stmtByte
+)
+
+type stmt struct {
+	kind    stmtKind
+	line    int
+	mnem    string
+	args    []string
+	values  []int64   // .word/.byte payload
+	floats  []float64 // .float payload
+	space   int       // .space size
+	size    int       // instructions emitted (text) or bytes (data)
+	address int32     // resolved position (instr index or data address)
+}
+
+type assembler struct {
+	text   []stmt
+	data   []stmt
+	labels map[string]int32
+}
+
+func (a *assembler) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("asm: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) parse(src string) error {
+	inData := false
+	pendingLabels := []string{}
+	labelSeg := map[string]bool{} // label -> is data
+	lineNo := 0
+	for _, rawLine := range strings.Split(src, "\n") {
+		lineNo++
+		line := rawLine
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) at line start.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			head := strings.TrimSpace(line[:i])
+			if head == "" || strings.ContainsAny(head, " \t,()") {
+				break
+			}
+			if _, dup := a.labels[head]; dup || labelSeg[head] {
+				return a.errf(lineNo, "duplicate label %q", head)
+			}
+			labelSeg[head] = true
+			pendingLabels = append(pendingLabels, head)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		mnem := strings.ToLower(fields[0])
+		rest := strings.TrimSpace(line[len(fields[0]):])
+
+		switch mnem {
+		case ".data":
+			inData = true
+			continue
+		case ".text":
+			inData = false
+			continue
+		}
+
+		s := stmt{line: lineNo, mnem: mnem}
+		switch mnem {
+		case ".word", ".byte":
+			vals, err := splitArgs(rest)
+			if err != nil {
+				return a.errf(lineNo, "%v", err)
+			}
+			for _, v := range vals {
+				n, err := parseInt(v)
+				if err != nil {
+					return a.errf(lineNo, "bad integer %q", v)
+				}
+				s.values = append(s.values, n)
+			}
+			if mnem == ".word" {
+				s.kind, s.size = stmtWord, 4*len(s.values)
+			} else {
+				s.kind, s.size = stmtByte, len(s.values)
+			}
+		case ".float":
+			vals, err := splitArgs(rest)
+			if err != nil {
+				return a.errf(lineNo, "%v", err)
+			}
+			for _, v := range vals {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return a.errf(lineNo, "bad float %q", v)
+				}
+				s.floats = append(s.floats, f)
+			}
+			s.kind, s.size = stmtFloat, 4*len(s.floats)
+		case ".space":
+			n, err := parseInt(strings.TrimSpace(rest))
+			if err != nil || n < 0 {
+				return a.errf(lineNo, "bad .space size %q", rest)
+			}
+			s.kind, s.space, s.size = stmtSpace, int(n), int(n)
+		default:
+			if strings.HasPrefix(mnem, ".") {
+				return a.errf(lineNo, "unknown directive %s", mnem)
+			}
+			args, err := splitArgs(rest)
+			if err != nil {
+				return a.errf(lineNo, "%v", err)
+			}
+			s.kind, s.mnem, s.args = stmtInstr, mnem, args
+			n, err := pseudoSize(mnem, args)
+			if err != nil {
+				return a.errf(lineNo, "%v", err)
+			}
+			s.size = n
+		}
+
+		if s.kind == stmtInstr && inData {
+			return a.errf(lineNo, "instruction in .data segment")
+		}
+		if s.kind != stmtInstr && !inData {
+			return a.errf(lineNo, "data directive in .text segment")
+		}
+
+		// Attach pending labels to this statement's position.
+		if inData {
+			for _, l := range pendingLabels {
+				a.data = append(a.data, stmt{kind: stmtSpace, line: lineNo, mnem: "label:" + l})
+			}
+			a.data = append(a.data, s)
+		} else {
+			for _, l := range pendingLabels {
+				a.text = append(a.text, stmt{kind: stmtInstr, mnem: "label:" + l, line: lineNo, size: 0})
+			}
+			a.text = append(a.text, s)
+		}
+		pendingLabels = pendingLabels[:0]
+	}
+	if len(pendingLabels) > 0 {
+		// Trailing labels point one past the end of their segment.
+		for _, l := range pendingLabels {
+			if inData {
+				a.data = append(a.data, stmt{kind: stmtSpace, mnem: "label:" + l})
+			} else {
+				a.text = append(a.text, stmt{kind: stmtInstr, mnem: "label:" + l, size: 0})
+			}
+		}
+	}
+	return nil
+}
+
+// layout resolves all label addresses.
+func (a *assembler) layout() error {
+	addr := int32(DataBase)
+	for i := range a.data {
+		s := &a.data[i]
+		if name, ok := strings.CutPrefix(s.mnem, "label:"); ok {
+			a.labels[name] = addr
+			continue
+		}
+		s.address = addr
+		addr += int32(s.size)
+	}
+	pc := int32(0)
+	for i := range a.text {
+		s := &a.text[i]
+		if name, ok := strings.CutPrefix(s.mnem, "label:"); ok {
+			a.labels[name] = pc
+			continue
+		}
+		s.address = pc
+		pc += int32(s.size)
+	}
+	return nil
+}
+
+func (a *assembler) encode() (*Program, error) {
+	if err := a.layout(); err != nil {
+		return nil, err
+	}
+	p := &Program{Labels: a.labels}
+	for _, s := range a.data {
+		if strings.HasPrefix(s.mnem, "label:") {
+			continue
+		}
+		switch s.kind {
+		case stmtWord:
+			for _, v := range s.values {
+				p.Data = append(p.Data,
+					byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+		case stmtByte:
+			for _, v := range s.values {
+				p.Data = append(p.Data, byte(v))
+			}
+		case stmtFloat:
+			for _, f := range s.floats {
+				b := math.Float32bits(float32(f))
+				p.Data = append(p.Data,
+					byte(b), byte(b>>8), byte(b>>16), byte(b>>24))
+			}
+		case stmtSpace:
+			p.Data = append(p.Data, make([]byte, s.space)...)
+		}
+	}
+	for _, s := range a.text {
+		if strings.HasPrefix(s.mnem, "label:") {
+			continue
+		}
+		instrs, err := a.encodeInstr(s)
+		if err != nil {
+			return nil, err
+		}
+		p.Instrs = append(p.Instrs, instrs...)
+	}
+	if len(p.Instrs) == 0 {
+		return nil, fmt.Errorf("asm: empty program")
+	}
+	return p, nil
+}
+
+func splitArgs(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty operand")
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// fitsImm16 reports whether v fits the 16-bit signed immediate field.
+func fitsImm16(v int64) bool { return v >= -32768 && v <= 32767 }
+
+// pseudoSize returns how many real instructions a mnemonic expands to.
+func pseudoSize(mnem string, args []string) (int, error) {
+	switch mnem {
+	case "li":
+		if len(args) != 2 {
+			return 0, fmt.Errorf("li needs 2 operands")
+		}
+		v, err := parseInt(args[1])
+		if err != nil {
+			return 0, fmt.Errorf("li immediate %q", args[1])
+		}
+		if fitsImm16(v) {
+			return 1, nil
+		}
+		return 2, nil
+	case "la":
+		// Data addresses are small in this simulator but may exceed 16
+		// bits for large segments; reserve the worst case uniformly so
+		// label layout does not depend on itself.
+		return 2, nil
+	default:
+		return 1, nil
+	}
+}

@@ -1,0 +1,379 @@
+package cpu
+
+import (
+	"strconv"
+	"strings"
+)
+
+var mnemToOp = func() map[string]Op {
+	m := make(map[string]Op, int(opCount))
+	for op := Op(0); op < opCount; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// reg parses an integer register operand r0..r31.
+func (a *assembler) reg(s stmt, tok string) (uint8, error) {
+	return a.regPrefixed(s, tok, "r")
+}
+
+// freg parses a float register operand f0..f31.
+func (a *assembler) freg(s stmt, tok string) (uint8, error) {
+	return a.regPrefixed(s, tok, "f")
+}
+
+func (a *assembler) regPrefixed(s stmt, tok, prefix string) (uint8, error) {
+	if !strings.HasPrefix(tok, prefix) {
+		return 0, a.errf(s.line, "expected %s-register, got %q", prefix, tok)
+	}
+	n, err := strconv.Atoi(tok[len(prefix):])
+	if err != nil || n < 0 || n > 31 {
+		return 0, a.errf(s.line, "bad register %q", tok)
+	}
+	return uint8(n), nil
+}
+
+// imm16 parses an immediate operand and checks the 16-bit signed range.
+func (a *assembler) imm16(s stmt, tok string) (int32, error) {
+	v, err := parseInt(tok)
+	if err != nil {
+		return 0, a.errf(s.line, "bad immediate %q", tok)
+	}
+	if !fitsImm16(v) {
+		return 0, a.errf(s.line, "immediate %d out of 16-bit range (use li)", v)
+	}
+	return int32(v), nil
+}
+
+// target resolves a label or numeric instruction index.
+func (a *assembler) target(s stmt, tok string) (int32, error) {
+	if v, err := parseInt(tok); err == nil {
+		return int32(v), nil
+	}
+	if addr, ok := a.labels[tok]; ok {
+		return addr, nil
+	}
+	return 0, a.errf(s.line, "undefined label %q", tok)
+}
+
+// memOperand parses "imm(rN)".
+func (a *assembler) memOperand(s stmt, tok string) (int32, uint8, error) {
+	open := strings.Index(tok, "(")
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return 0, 0, a.errf(s.line, "expected imm(reg), got %q", tok)
+	}
+	immPart := strings.TrimSpace(tok[:open])
+	regPart := strings.TrimSpace(tok[open+1 : len(tok)-1])
+	var off int32
+	if immPart != "" {
+		v, err := a.imm16(s, immPart)
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	base, err := a.reg(s, regPart)
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+func (a *assembler) needArgs(s stmt, n int) error {
+	if len(s.args) != n {
+		return a.errf(s.line, "%s needs %d operands, got %d", s.mnem, n, len(s.args))
+	}
+	return nil
+}
+
+// encodeInstr expands one statement (real or pseudo) into instructions.
+func (a *assembler) encodeInstr(s stmt) ([]Instr, error) {
+	// Pseudo-instructions first.
+	switch s.mnem {
+	case "li":
+		if err := a.needArgs(s, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseInt(s.args[1])
+		if err != nil {
+			return nil, a.errf(s.line, "bad immediate %q", s.args[1])
+		}
+		return expandLoadImm(rd, int32(v), fitsImm16(v)), nil
+	case "la":
+		if err := a.needArgs(s, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		addr, ok := a.labels[s.args[1]]
+		if !ok {
+			return nil, a.errf(s.line, "undefined label %q", s.args[1])
+		}
+		// la always reserves two slots (see pseudoSize); pad with nop when
+		// one suffices so label layout stays consistent.
+		ins := expandLoadImm(rd, addr, fitsImm16(int64(addr)))
+		for len(ins) < 2 {
+			ins = append(ins, Instr{Op: OpNop})
+		}
+		return ins, nil
+	case "mv":
+		if err := a.needArgs(s, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s, s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: OpAddi, Rd: rd, Rs1: rs}}, nil
+	case "not":
+		if err := a.needArgs(s, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s, s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: OpXori, Rd: rd, Rs1: rs, Imm: -1}}, nil
+	case "neg":
+		if err := a.needArgs(s, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s, s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: OpSub, Rd: rd, Rs1: 0, Rs2: rs}}, nil
+	case "j":
+		if err := a.needArgs(s, 1); err != nil {
+			return nil, err
+		}
+		tgt, err := a.target(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: OpJal, Rd: 0, Imm: tgt}}, nil
+	case "jr":
+		if err := a.needArgs(s, 1); err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: OpJalr, Rd: 0, Rs1: rs}}, nil
+	case "call":
+		if err := a.needArgs(s, 1); err != nil {
+			return nil, err
+		}
+		tgt, err := a.target(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: OpJal, Rd: 31, Imm: tgt}}, nil
+	case "ret":
+		if err := a.needArgs(s, 0); err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: OpJalr, Rd: 0, Rs1: 31}}, nil
+	case "beqz":
+		if err := a.needArgs(s, 2); err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := a.target(s, s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: OpBeq, Rs1: rs, Rs2: 0, Imm: tgt}}, nil
+	case "bnez":
+		if err := a.needArgs(s, 2); err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := a.target(s, s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: OpBne, Rs1: rs, Rs2: 0, Imm: tgt}}, nil
+	}
+
+	op, ok := mnemToOp[s.mnem]
+	if !ok {
+		return nil, a.errf(s.line, "unknown mnemonic %q", s.mnem)
+	}
+	info := opTable[op]
+	in := Instr{Op: op}
+	switch info.format {
+	case fmtNone:
+		if err := a.needArgs(s, 0); err != nil {
+			return nil, err
+		}
+	case fmtRRR:
+		if err := a.needArgs(s, 3); err != nil {
+			return nil, err
+		}
+		parse := a.reg
+		if info.isFP {
+			parse = a.freg
+		}
+		dstParse := parse
+		if op == OpFeq || op == OpFlt || op == OpFle {
+			dstParse = a.reg // comparison result is an integer
+		}
+		var err error
+		if in.Rd, err = dstParse(s, s.args[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = parse(s, s.args[1]); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = parse(s, s.args[2]); err != nil {
+			return nil, err
+		}
+	case fmtRRI:
+		if err := a.needArgs(s, 3); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rd, err = a.reg(s, s.args[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = a.reg(s, s.args[1]); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = a.imm16(s, s.args[2]); err != nil {
+			return nil, err
+		}
+	case fmtRI:
+		if err := a.needArgs(s, 2); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rd, err = a.reg(s, s.args[0]); err != nil {
+			return nil, err
+		}
+		v, err := parseInt(s.args[1])
+		if err != nil || v < -32768 || v > 65535 {
+			return nil, a.errf(s.line, "lui immediate %q out of range", s.args[1])
+		}
+		in.Imm = int32(v) & 0xFFFF
+	case fmtMem:
+		if err := a.needArgs(s, 2); err != nil {
+			return nil, err
+		}
+		parse := a.reg
+		if info.isFP {
+			parse = a.freg
+		}
+		dataReg, err := parse(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		off, base, err := a.memOperand(s, s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		in.Imm, in.Rs1 = off, base
+		if info.isStor {
+			in.Rs2 = dataReg
+		} else {
+			in.Rd = dataReg
+		}
+	case fmtBranch:
+		if err := a.needArgs(s, 3); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rs1, err = a.reg(s, s.args[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = a.reg(s, s.args[1]); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = a.target(s, s.args[2]); err != nil {
+			return nil, err
+		}
+	case fmtJal:
+		if err := a.needArgs(s, 2); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rd, err = a.reg(s, s.args[0]); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = a.target(s, s.args[1]); err != nil {
+			return nil, err
+		}
+	case fmtJalr:
+		if err := a.needArgs(s, 3); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rd, err = a.reg(s, s.args[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = a.reg(s, s.args[1]); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = a.imm16(s, s.args[2]); err != nil {
+			return nil, err
+		}
+	case fmtRR:
+		if err := a.needArgs(s, 2); err != nil {
+			return nil, err
+		}
+		dstParse, srcParse := a.freg, a.freg
+		if op == OpFcvtWS {
+			dstParse = a.reg
+		}
+		if op == OpFcvtSW {
+			srcParse = a.reg
+		}
+		var err error
+		if in.Rd, err = dstParse(s, s.args[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = srcParse(s, s.args[1]); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, a.errf(s.line, "unhandled format for %s", s.mnem)
+	}
+	return []Instr{in}, nil
+}
+
+// expandLoadImm materializes a 32-bit constant.
+func expandLoadImm(rd uint8, v int32, fits16 bool) []Instr {
+	if fits16 {
+		return []Instr{{Op: OpAddi, Rd: rd, Rs1: 0, Imm: v}}
+	}
+	return []Instr{
+		{Op: OpLui, Rd: rd, Imm: int32(uint32(v) >> 16)},
+		{Op: OpOri, Rd: rd, Rs1: rd, Imm: int32(uint32(v) & 0xFFFF)},
+	}
+}

@@ -1,0 +1,110 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"buspower/internal/stats"
+)
+
+// The assembler must never panic: arbitrary text yields either a program
+// or an error.
+func TestAssembleNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Assemble(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Mutated fragments of real assembly exercise the parser's error paths
+// more effectively than raw random strings.
+func TestAssembleSurvivesMutatedSource(t *testing.T) {
+	base := `
+	.data
+arr:	.word 1, 2, 3
+buf:	.space 64
+fv:	.float 1.5
+	.text
+main:	la   r1, arr
+	lw   r2, 0(r1)
+	addi r3, r2, 5
+	beq  r2, r3, main
+	call fn
+	halt
+fn:	add  r4, r2, r3
+	ret
+`
+	rng := stats.NewRNG(99)
+	mutants := []func(string) string{
+		func(s string) string { return strings.Replace(s, ",", "", 1) },
+		func(s string) string { return strings.Replace(s, "(", "[", 1) },
+		func(s string) string { return strings.Replace(s, "r1", "r99", 1) },
+		func(s string) string { return strings.Replace(s, "arr", "xyz", 1) },
+		func(s string) string { return strings.Replace(s, ".word", ".wird", 1) },
+		func(s string) string { return strings.Replace(s, "5", "99999999999", 1) },
+		func(s string) string { return s + "\n\tlw r1" },
+		func(s string) string { return strings.Replace(s, ":", "::", 1) },
+	}
+	for trial := 0; trial < 500; trial++ {
+		src := base
+		nMut := 1 + rng.Intn(3)
+		for i := 0; i < nMut; i++ {
+			src = mutants[rng.Intn(len(mutants))](src)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("assembler panicked on mutated source: %v\n%s", r, src)
+				}
+			}()
+			if p, err := Assemble(src); err == nil && p != nil {
+				// If it assembled, it must also execute without faulting
+				// for a bounded number of steps.
+				if c, err := NewCore(p); err == nil {
+					c.Run(10_000)
+				}
+			}
+		}()
+	}
+}
+
+// Programs of random valid instructions must execute without panicking
+// (memory accesses are the exception: constrain bases to a safe window).
+func TestRandomProgramsExecute(t *testing.T) {
+	rng := stats.NewRNG(123)
+	for trial := 0; trial < 200; trial++ {
+		n := 10 + rng.Intn(40)
+		instrs := make([]Instr, 0, n+1)
+		for i := 0; i < n; i++ {
+			op := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpSll, OpSrl,
+				OpAddi, OpOri, OpXori, OpSlti, OpLui, OpFadd, OpFmul,
+				OpFcvtSW, OpFcvtWS}[rng.Intn(17)]
+			instrs = append(instrs, Instr{
+				Op:  op,
+				Rd:  uint8(rng.Intn(32)),
+				Rs1: uint8(rng.Intn(32)),
+				Rs2: uint8(rng.Intn(32)),
+				Imm: int32(rng.Intn(65536) - 32768),
+			})
+		}
+		instrs = append(instrs, Instr{Op: OpHalt})
+		p := &Program{Instrs: instrs, Labels: map[string]int32{}}
+		c, err := NewCore(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(uint64(n + 10))
+		if !c.Halted() {
+			t.Fatalf("trial %d: straight-line program did not halt", trial)
+		}
+	}
+}

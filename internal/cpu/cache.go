@@ -1,0 +1,118 @@
+package cpu
+
+import "fmt"
+
+// Cache is a set-associative cache with true-LRU replacement, used for the
+// L1 data cache and the unified L2 of the timing model. Only tags are
+// tracked — data lives in the functional memory — since the timing model
+// needs hit/miss outcomes and the memory-bus generator needs fill events.
+type Cache struct {
+	name      string
+	sets      int
+	ways      int
+	lineShift uint
+	lines     [][]cacheLine // [set][way]
+
+	// Statistics.
+	Accesses  uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+type cacheLine struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	lru   uint64 // last-use stamp
+}
+
+// NewCache builds a cache of size bytes with the given associativity and
+// line size (both powers of two).
+func NewCache(name string, size, ways, lineSize int) *Cache {
+	if size <= 0 || ways <= 0 || lineSize <= 0 {
+		panic(fmt.Sprintf("cpu: invalid cache geometry %d/%d/%d", size, ways, lineSize))
+	}
+	if size%(ways*lineSize) != 0 {
+		panic(fmt.Sprintf("cpu: cache size %d not divisible by ways*lineSize %d", size, ways*lineSize))
+	}
+	sets := size / (ways * lineSize)
+	if sets&(sets-1) != 0 || lineSize&(lineSize-1) != 0 {
+		panic("cpu: cache sets and line size must be powers of two")
+	}
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	lines := make([][]cacheLine, sets)
+	for i := range lines {
+		lines[i] = make([]cacheLine, ways)
+	}
+	return &Cache{name: name, sets: sets, ways: ways, lineShift: shift, lines: lines}
+}
+
+// AccessResult describes one cache access.
+type AccessResult struct {
+	Hit bool
+	// WritebackAddr is set (with Writeback=true) when a dirty line was
+	// evicted to make room.
+	Writeback     bool
+	WritebackAddr uint32
+}
+
+// Access looks up addr, allocating on miss (write-allocate); isWrite marks
+// the line dirty. The access counter stamp provides LRU ordering.
+func (c *Cache) Access(addr uint32, isWrite bool) AccessResult {
+	c.Accesses++
+	lineAddr := addr >> c.lineShift
+	set := int(lineAddr) & (c.sets - 1)
+	tag := lineAddr // full line address as tag (set bits redundant but harmless)
+	ways := c.lines[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.Accesses
+			if isWrite {
+				ways[i].dirty = true
+			}
+			return AccessResult{Hit: true}
+		}
+	}
+	// Miss: fill an invalid way if one exists, else evict the LRU way.
+	c.Misses++
+	victim := -1
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(ways); i++ {
+			if ways[i].lru < ways[victim].lru {
+				victim = i
+			}
+		}
+	}
+	res := AccessResult{}
+	if ways[victim].valid && ways[victim].dirty {
+		res.Writeback = true
+		res.WritebackAddr = ways[victim].tag << c.lineShift
+		c.Evictions++
+	}
+	ways[victim] = cacheLine{tag: tag, valid: true, dirty: isWrite, lru: c.Accesses}
+	return res
+}
+
+// MissRate returns misses/accesses (0 for an untouched cache).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return 1 << c.lineShift }
+
+// Name returns the cache's label.
+func (c *Cache) Name() string { return c.name }

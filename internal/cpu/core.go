@@ -1,0 +1,347 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+)
+
+// Core is the functional execution engine: architectural registers, PC and
+// memory. Like SimpleScalar's functional-first organization, instructions
+// are executed architecturally in program order; the timing model re-times
+// the resulting dynamic instruction stream (§4.1: "the results of
+// instructions are computed immediately upon dispatch").
+type Core struct {
+	R    [32]uint32 // integer registers; R[0] reads as zero
+	F    [32]uint32 // float32 registers (bit patterns)
+	PC   int32
+	Mem  *Memory
+	prog *Program
+
+	halted  bool
+	retired uint64
+}
+
+// DefaultMemorySize is the data memory size given to NewCore.
+const DefaultMemorySize = 1 << 21 // 2 MiB
+
+// NewCore builds a core with the program's data image loaded.
+func NewCore(p *Program) (*Core, error) {
+	c := &Core{Mem: NewMemory(DefaultMemorySize), prog: p}
+	if err := c.Mem.LoadImage(DataBase, p.Data); err != nil {
+		return nil, err
+	}
+	// Stack pointer convention: r29 starts at the top of memory.
+	c.R[29] = uint32(c.Mem.Size() - 16)
+	return c, nil
+}
+
+// StepInfo describes one architecturally executed instruction — everything
+// the timing model and the bus timing generators need.
+type StepInfo struct {
+	Index  int32 // instruction index (PC before execution)
+	Instr  Instr
+	NextPC int32
+
+	// SrcInt holds the integer register operand values read (register bus
+	// traffic); N gives how many are valid.
+	SrcInt  [2]uint32
+	NSrcInt int
+
+	// Memory behaviour.
+	IsLoad  bool
+	IsStore bool
+	Addr    uint32
+	Data    uint32 // loaded or stored 32-bit value (byte/half zero-padded)
+
+	// Control behaviour.
+	IsControl bool
+	Taken     bool
+
+	Halted bool
+}
+
+// Halted reports whether the program has executed HALT (or run off the end
+// of the text segment).
+func (c *Core) Halted() bool { return c.halted }
+
+// Retired returns the number of instructions executed.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Step executes one instruction and reports what happened.
+func (c *Core) Step() StepInfo {
+	if c.halted {
+		return StepInfo{Halted: true, Index: c.PC}
+	}
+	if c.PC < 0 || int(c.PC) >= len(c.prog.Instrs) {
+		c.halted = true
+		return StepInfo{Halted: true, Index: c.PC}
+	}
+	in := c.prog.Instrs[c.PC]
+	info := StepInfo{Index: c.PC, Instr: in, NextPC: c.PC + 1}
+	c.execute(in, &info)
+	c.R[0] = 0 // r0 is hard-wired
+	c.PC = info.NextPC
+	c.retired++
+	if info.Halted {
+		c.halted = true
+	}
+	return info
+}
+
+// Run executes until HALT or maxInstrs, returning the number executed.
+func (c *Core) Run(maxInstrs uint64) uint64 {
+	start := c.retired
+	for !c.halted && c.retired-start < maxInstrs {
+		c.Step()
+	}
+	return c.retired - start
+}
+
+func (c *Core) srcInt(info *StepInfo, vals ...uint32) {
+	for _, v := range vals {
+		if info.NSrcInt < 2 {
+			info.SrcInt[info.NSrcInt] = v
+			info.NSrcInt++
+		}
+	}
+}
+
+func (c *Core) execute(in Instr, info *StepInfo) {
+	r := &c.R
+	f := &c.F
+	switch in.Op {
+	case OpNop:
+	case OpHalt:
+		info.Halted = true
+
+	case OpAdd:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+	case OpSub:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+	case OpMul:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+	case OpDiv:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		if r[in.Rs2] == 0 {
+			r[in.Rd] = 0
+		} else {
+			r[in.Rd] = uint32(int32(r[in.Rs1]) / int32(r[in.Rs2]))
+		}
+	case OpRem:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		if r[in.Rs2] == 0 {
+			r[in.Rd] = 0
+		} else {
+			r[in.Rd] = uint32(int32(r[in.Rs1]) % int32(r[in.Rs2]))
+		}
+	case OpAnd:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+	case OpOr:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+	case OpXor:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+	case OpSll:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		r[in.Rd] = r[in.Rs1] << (r[in.Rs2] & 31)
+	case OpSrl:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		r[in.Rd] = r[in.Rs1] >> (r[in.Rs2] & 31)
+	case OpSra:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		r[in.Rd] = uint32(int32(r[in.Rs1]) >> (r[in.Rs2] & 31))
+	case OpSlt:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		r[in.Rd] = boolTo32(int32(r[in.Rs1]) < int32(r[in.Rs2]))
+	case OpSltu:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		r[in.Rd] = boolTo32(r[in.Rs1] < r[in.Rs2])
+
+	case OpAddi:
+		c.srcInt(info, r[in.Rs1])
+		r[in.Rd] = r[in.Rs1] + uint32(in.Imm)
+	case OpAndi:
+		c.srcInt(info, r[in.Rs1])
+		r[in.Rd] = r[in.Rs1] & uint32(in.Imm)
+	case OpOri:
+		c.srcInt(info, r[in.Rs1])
+		r[in.Rd] = r[in.Rs1] | uint32(in.Imm)
+	case OpXori:
+		c.srcInt(info, r[in.Rs1])
+		r[in.Rd] = r[in.Rs1] ^ uint32(in.Imm)
+	case OpSlli:
+		c.srcInt(info, r[in.Rs1])
+		r[in.Rd] = r[in.Rs1] << (uint32(in.Imm) & 31)
+	case OpSrli:
+		c.srcInt(info, r[in.Rs1])
+		r[in.Rd] = r[in.Rs1] >> (uint32(in.Imm) & 31)
+	case OpSrai:
+		c.srcInt(info, r[in.Rs1])
+		r[in.Rd] = uint32(int32(r[in.Rs1]) >> (uint32(in.Imm) & 31))
+	case OpSlti:
+		c.srcInt(info, r[in.Rs1])
+		r[in.Rd] = boolTo32(int32(r[in.Rs1]) < in.Imm)
+	case OpLui:
+		r[in.Rd] = uint32(in.Imm) << 16
+
+	case OpLw, OpLh, OpLhu, OpLb, OpLbu, OpFlw:
+		c.srcInt(info, r[in.Rs1])
+		addr := r[in.Rs1] + uint32(in.Imm)
+		info.IsLoad = true
+		info.Addr = addr
+		var v uint32
+		switch in.Op {
+		case OpLw, OpFlw:
+			v = c.Mem.Read32(addr)
+		case OpLh:
+			v = uint32(int32(int16(c.Mem.Read16(addr))))
+		case OpLhu:
+			v = uint32(c.Mem.Read16(addr))
+		case OpLb:
+			v = uint32(int32(int8(c.Mem.Read8(addr))))
+		case OpLbu:
+			v = uint32(c.Mem.Read8(addr))
+		}
+		info.Data = v
+		if in.Op == OpFlw {
+			f[in.Rd] = v
+		} else {
+			r[in.Rd] = v
+		}
+
+	case OpSw, OpSh, OpSb, OpFsw:
+		c.srcInt(info, r[in.Rs1])
+		addr := r[in.Rs1] + uint32(in.Imm)
+		info.IsStore = true
+		info.Addr = addr
+		var v uint32
+		if in.Op == OpFsw {
+			v = f[in.Rs2]
+		} else {
+			v = r[in.Rs2]
+			c.srcInt(info, r[in.Rs2])
+		}
+		switch in.Op {
+		case OpSw, OpFsw:
+			c.Mem.Write32(addr, v)
+			info.Data = v
+		case OpSh:
+			c.Mem.Write16(addr, uint16(v))
+			info.Data = v & 0xFFFF
+		case OpSb:
+			c.Mem.Write8(addr, uint8(v))
+			info.Data = v & 0xFF
+		}
+
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		c.srcInt(info, r[in.Rs1], r[in.Rs2])
+		info.IsControl = true
+		a, b := r[in.Rs1], r[in.Rs2]
+		var taken bool
+		switch in.Op {
+		case OpBeq:
+			taken = a == b
+		case OpBne:
+			taken = a != b
+		case OpBlt:
+			taken = int32(a) < int32(b)
+		case OpBge:
+			taken = int32(a) >= int32(b)
+		case OpBltu:
+			taken = a < b
+		case OpBgeu:
+			taken = a >= b
+		}
+		info.Taken = taken
+		if taken {
+			info.NextPC = in.Imm
+		}
+
+	case OpJal:
+		info.IsControl = true
+		info.Taken = true
+		r[in.Rd] = uint32(info.Index + 1)
+		info.NextPC = in.Imm
+	case OpJalr:
+		c.srcInt(info, r[in.Rs1])
+		info.IsControl = true
+		info.Taken = true
+		target := int32(r[in.Rs1]) + in.Imm
+		r[in.Rd] = uint32(info.Index + 1)
+		info.NextPC = target
+
+	case OpFadd:
+		f[in.Rd] = f32op(f[in.Rs1], f[in.Rs2], func(a, b float32) float32 { return a + b })
+	case OpFsub:
+		f[in.Rd] = f32op(f[in.Rs1], f[in.Rs2], func(a, b float32) float32 { return a - b })
+	case OpFmul:
+		f[in.Rd] = f32op(f[in.Rs1], f[in.Rs2], func(a, b float32) float32 { return a * b })
+	case OpFdiv:
+		f[in.Rd] = f32op(f[in.Rs1], f[in.Rs2], func(a, b float32) float32 {
+			if b == 0 {
+				return 0
+			}
+			return a / b
+		})
+	case OpFmin:
+		f[in.Rd] = f32op(f[in.Rs1], f[in.Rs2], func(a, b float32) float32 {
+			if a < b {
+				return a
+			}
+			return b
+		})
+	case OpFmax:
+		f[in.Rd] = f32op(f[in.Rs1], f[in.Rs2], func(a, b float32) float32 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	case OpFneg:
+		f[in.Rd] = f[in.Rs1] ^ 0x80000000
+	case OpFabs:
+		f[in.Rd] = f[in.Rs1] &^ 0x80000000
+	case OpFmov:
+		f[in.Rd] = f[in.Rs1]
+	case OpFcvtSW:
+		c.srcInt(info, r[in.Rs1])
+		f[in.Rd] = math.Float32bits(float32(int32(r[in.Rs1])))
+	case OpFcvtWS:
+		v := math.Float32frombits(f[in.Rs1])
+		switch {
+		case math.IsNaN(float64(v)):
+			r[in.Rd] = 0
+		case v >= math.MaxInt32:
+			r[in.Rd] = math.MaxInt32
+		case v <= math.MinInt32:
+			r[in.Rd] = 0x80000000 // int32 minimum
+		default:
+			r[in.Rd] = uint32(int32(v))
+		}
+	case OpFeq:
+		r[in.Rd] = boolTo32(math.Float32frombits(f[in.Rs1]) == math.Float32frombits(f[in.Rs2]))
+	case OpFlt:
+		r[in.Rd] = boolTo32(math.Float32frombits(f[in.Rs1]) < math.Float32frombits(f[in.Rs2]))
+	case OpFle:
+		r[in.Rd] = boolTo32(math.Float32frombits(f[in.Rs1]) <= math.Float32frombits(f[in.Rs2]))
+
+	default:
+		panic(fmt.Sprintf("cpu: unimplemented opcode %d", in.Op))
+	}
+}
+
+func boolTo32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func f32op(a, b uint32, f func(float32, float32) float32) uint32 {
+	return math.Float32bits(f(math.Float32frombits(a), math.Float32frombits(b)))
+}

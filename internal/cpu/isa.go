@@ -1,0 +1,304 @@
+// Package cpu implements the reproduction's substitute for the paper's
+// modified SimpleScalar 3.0: a 32-bit RISC instruction set, a text
+// assembler, a functional core, a set-associative cache hierarchy, a
+// bimodal branch predictor, and an out-of-order timing model in the style
+// of sim-outorder (register update unit + load/store queue) with the
+// paper's "bus timing generators" bolted on: the integer register-file
+// output port and the memory data bus are observed as streams of 32-bit
+// values, re-timed to resemble actual bus activity (§4.1).
+package cpu
+
+import "fmt"
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode space. Register operands are integer registers r0..r31 (r0 is
+// hard-wired to zero) unless the mnemonic starts with F, which addresses
+// the float32 register file f0..f31.
+const (
+	OpNop Op = iota
+	OpHalt
+
+	// Integer register-register ALU.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // signed; division by zero yields 0 (software must guard)
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt
+	OpSltu
+
+	// Integer immediate ALU.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpLui // rd = imm << 16
+
+	// Memory.
+	OpLw
+	OpLh
+	OpLhu
+	OpLb
+	OpLbu
+	OpSw
+	OpSh
+	OpSb
+
+	// Control.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJal  // rd = return index; jump to Imm
+	OpJalr // rd = return index; jump to rs1 + Imm
+
+	// Floating point (float32 in f registers).
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFmin
+	OpFmax
+	OpFneg
+	OpFabs
+	OpFmov
+	OpFlw // f[rd] = mem32[r[rs1]+imm]
+	OpFsw // mem32[r[rs1]+imm] = f[rs2]
+	OpFcvtSW
+	OpFcvtWS // r[rd] = int32(f[rs1]) (truncating)
+	OpFeq    // r[rd] = f[rs1] == f[rs2]
+	OpFlt
+	OpFle
+
+	opCount // sentinel
+)
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+// opInfo captures per-opcode metadata used by the assembler, the
+// functional core, and the timing model.
+type opInfo struct {
+	name   string
+	format opFormat
+	class  FUClass
+	isLoad bool
+	isStor bool
+	isCtrl bool
+	isFP   bool // reads/writes the f register file
+}
+
+// opFormat drives assembler operand parsing.
+type opFormat int
+
+const (
+	fmtNone   opFormat = iota // nop, halt
+	fmtRRR                    // op rd, rs1, rs2
+	fmtRRI                    // op rd, rs1, imm
+	fmtRI                     // op rd, imm (lui)
+	fmtMem                    // op rd, imm(rs1)
+	fmtBranch                 // op rs1, rs2, label
+	fmtJal                    // op rd, label
+	fmtJalr                   // op rd, rs1, imm
+	fmtRR                     // op rd, rs1 (fneg, fmov, cvt)
+)
+
+// FUClass buckets opcodes by functional unit for the timing model.
+type FUClass int
+
+const (
+	// ClassIntALU covers simple integer operations (1 cycle).
+	ClassIntALU FUClass = iota
+	// ClassIntMul covers integer multiply/divide.
+	ClassIntMul
+	// ClassMem covers loads and stores (address generation).
+	ClassMem
+	// ClassBranch covers control transfers.
+	ClassBranch
+	// ClassFPAdd covers FP add/sub/compare/convert/move.
+	ClassFPAdd
+	// ClassFPMul covers FP multiply.
+	ClassFPMul
+	// ClassFPDiv covers FP divide.
+	ClassFPDiv
+	fuClassCount
+)
+
+var opTable = [opCount]opInfo{
+	OpNop:  {name: "nop", format: fmtNone, class: ClassIntALU},
+	OpHalt: {name: "halt", format: fmtNone, class: ClassIntALU},
+
+	OpAdd:  {name: "add", format: fmtRRR, class: ClassIntALU},
+	OpSub:  {name: "sub", format: fmtRRR, class: ClassIntALU},
+	OpMul:  {name: "mul", format: fmtRRR, class: ClassIntMul},
+	OpDiv:  {name: "div", format: fmtRRR, class: ClassIntMul},
+	OpRem:  {name: "rem", format: fmtRRR, class: ClassIntMul},
+	OpAnd:  {name: "and", format: fmtRRR, class: ClassIntALU},
+	OpOr:   {name: "or", format: fmtRRR, class: ClassIntALU},
+	OpXor:  {name: "xor", format: fmtRRR, class: ClassIntALU},
+	OpSll:  {name: "sll", format: fmtRRR, class: ClassIntALU},
+	OpSrl:  {name: "srl", format: fmtRRR, class: ClassIntALU},
+	OpSra:  {name: "sra", format: fmtRRR, class: ClassIntALU},
+	OpSlt:  {name: "slt", format: fmtRRR, class: ClassIntALU},
+	OpSltu: {name: "sltu", format: fmtRRR, class: ClassIntALU},
+
+	OpAddi: {name: "addi", format: fmtRRI, class: ClassIntALU},
+	OpAndi: {name: "andi", format: fmtRRI, class: ClassIntALU},
+	OpOri:  {name: "ori", format: fmtRRI, class: ClassIntALU},
+	OpXori: {name: "xori", format: fmtRRI, class: ClassIntALU},
+	OpSlli: {name: "slli", format: fmtRRI, class: ClassIntALU},
+	OpSrli: {name: "srli", format: fmtRRI, class: ClassIntALU},
+	OpSrai: {name: "srai", format: fmtRRI, class: ClassIntALU},
+	OpSlti: {name: "slti", format: fmtRRI, class: ClassIntALU},
+	OpLui:  {name: "lui", format: fmtRI, class: ClassIntALU},
+
+	OpLw:  {name: "lw", format: fmtMem, class: ClassMem, isLoad: true},
+	OpLh:  {name: "lh", format: fmtMem, class: ClassMem, isLoad: true},
+	OpLhu: {name: "lhu", format: fmtMem, class: ClassMem, isLoad: true},
+	OpLb:  {name: "lb", format: fmtMem, class: ClassMem, isLoad: true},
+	OpLbu: {name: "lbu", format: fmtMem, class: ClassMem, isLoad: true},
+	OpSw:  {name: "sw", format: fmtMem, class: ClassMem, isStor: true},
+	OpSh:  {name: "sh", format: fmtMem, class: ClassMem, isStor: true},
+	OpSb:  {name: "sb", format: fmtMem, class: ClassMem, isStor: true},
+
+	OpBeq:  {name: "beq", format: fmtBranch, class: ClassBranch, isCtrl: true},
+	OpBne:  {name: "bne", format: fmtBranch, class: ClassBranch, isCtrl: true},
+	OpBlt:  {name: "blt", format: fmtBranch, class: ClassBranch, isCtrl: true},
+	OpBge:  {name: "bge", format: fmtBranch, class: ClassBranch, isCtrl: true},
+	OpBltu: {name: "bltu", format: fmtBranch, class: ClassBranch, isCtrl: true},
+	OpBgeu: {name: "bgeu", format: fmtBranch, class: ClassBranch, isCtrl: true},
+	OpJal:  {name: "jal", format: fmtJal, class: ClassBranch, isCtrl: true},
+	OpJalr: {name: "jalr", format: fmtJalr, class: ClassBranch, isCtrl: true},
+
+	OpFadd:   {name: "fadd", format: fmtRRR, class: ClassFPAdd, isFP: true},
+	OpFsub:   {name: "fsub", format: fmtRRR, class: ClassFPAdd, isFP: true},
+	OpFmul:   {name: "fmul", format: fmtRRR, class: ClassFPMul, isFP: true},
+	OpFdiv:   {name: "fdiv", format: fmtRRR, class: ClassFPDiv, isFP: true},
+	OpFmin:   {name: "fmin", format: fmtRRR, class: ClassFPAdd, isFP: true},
+	OpFmax:   {name: "fmax", format: fmtRRR, class: ClassFPAdd, isFP: true},
+	OpFneg:   {name: "fneg", format: fmtRR, class: ClassFPAdd, isFP: true},
+	OpFabs:   {name: "fabs", format: fmtRR, class: ClassFPAdd, isFP: true},
+	OpFmov:   {name: "fmov", format: fmtRR, class: ClassFPAdd, isFP: true},
+	OpFlw:    {name: "flw", format: fmtMem, class: ClassMem, isLoad: true, isFP: true},
+	OpFsw:    {name: "fsw", format: fmtMem, class: ClassMem, isStor: true, isFP: true},
+	OpFcvtSW: {name: "fcvt.s.w", format: fmtRR, class: ClassFPAdd, isFP: true},
+	OpFcvtWS: {name: "fcvt.w.s", format: fmtRR, class: ClassFPAdd, isFP: true},
+	OpFeq:    {name: "feq", format: fmtRRR, class: ClassFPAdd, isFP: true},
+	OpFlt:    {name: "flt", format: fmtRRR, class: ClassFPAdd, isFP: true},
+	OpFle:    {name: "fle", format: fmtRRR, class: ClassFPAdd, isFP: true},
+}
+
+// Info accessors.
+
+// Name returns the assembly mnemonic.
+func (o Op) Name() string { return opTable[o].name }
+
+// Class returns the functional-unit class.
+func (o Op) Class() FUClass { return opTable[o].class }
+
+// IsLoad reports whether the opcode reads data memory.
+func (o Op) IsLoad() bool { return opTable[o].isLoad }
+
+// IsStore reports whether the opcode writes data memory.
+func (o Op) IsStore() bool { return opTable[o].isStor }
+
+// IsControl reports whether the opcode can redirect fetch.
+func (o Op) IsControl() bool { return opTable[o].isCtrl }
+
+// IsFP reports whether the opcode touches the f register file.
+func (o Op) IsFP() bool { return opTable[o].isFP }
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	info := opTable[in.Op]
+	rp := "r"
+	if info.isFP {
+		rp = "f"
+	}
+	switch info.format {
+	case fmtNone:
+		return info.name
+	case fmtRRR:
+		d, s := rp, rp
+		if in.Op == OpFeq || in.Op == OpFlt || in.Op == OpFle {
+			d = "r" // comparison result lands in an integer register
+		}
+		return fmt.Sprintf("%s %s%d, %s%d, %s%d", info.name, d, in.Rd, s, in.Rs1, s, in.Rs2)
+	case fmtRRI:
+		return fmt.Sprintf("%s r%d, r%d, %d", info.name, in.Rd, in.Rs1, in.Imm)
+	case fmtRI:
+		return fmt.Sprintf("%s r%d, %d", info.name, in.Rd, in.Imm)
+	case fmtMem:
+		reg := fmt.Sprintf("r%d", in.Rd)
+		if info.isFP {
+			reg = fmt.Sprintf("f%d", in.Rd)
+		}
+		if info.isStor {
+			if info.isFP {
+				reg = fmt.Sprintf("f%d", in.Rs2)
+			} else {
+				reg = fmt.Sprintf("r%d", in.Rs2)
+			}
+		}
+		return fmt.Sprintf("%s %s, %d(r%d)", info.name, reg, in.Imm, in.Rs1)
+	case fmtBranch:
+		return fmt.Sprintf("%s r%d, r%d, %d", info.name, in.Rs1, in.Rs2, in.Imm)
+	case fmtJal:
+		return fmt.Sprintf("%s r%d, %d", info.name, in.Rd, in.Imm)
+	case fmtJalr:
+		return fmt.Sprintf("%s r%d, r%d, %d", info.name, in.Rd, in.Rs1, in.Imm)
+	case fmtRR:
+		d, s := rp, rp
+		if in.Op == OpFcvtWS {
+			d = "r"
+		}
+		if in.Op == OpFcvtSW {
+			s = "r"
+		}
+		return fmt.Sprintf("%s %s%d, %s%d", info.name, d, in.Rd, s, in.Rs1)
+	}
+	return info.name
+}
+
+// Latency returns the execution latency in cycles for the timing model
+// (SimpleScalar-like defaults).
+func (o Op) Latency() int {
+	switch o.Class() {
+	case ClassIntALU, ClassBranch:
+		return 1
+	case ClassIntMul:
+		if o == OpMul {
+			return 3
+		}
+		return 12 // div/rem
+	case ClassMem:
+		return 1 // address generation; cache latency added separately
+	case ClassFPAdd:
+		return 2
+	case ClassFPMul:
+		return 4
+	case ClassFPDiv:
+		return 12
+	}
+	return 1
+}

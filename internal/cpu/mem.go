@@ -1,0 +1,75 @@
+package cpu
+
+import "fmt"
+
+// Memory is the simulator's flat little-endian data memory.
+type Memory struct {
+	bytes []byte
+}
+
+// NewMemory allocates a zeroed memory of the given size in bytes.
+func NewMemory(size int) *Memory {
+	if size <= 0 {
+		panic(fmt.Sprintf("cpu: invalid memory size %d", size))
+	}
+	return &Memory{bytes: make([]byte, size)}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int { return len(m.bytes) }
+
+// LoadImage copies data into memory starting at addr.
+func (m *Memory) LoadImage(addr uint32, data []byte) error {
+	if int(addr)+len(data) > len(m.bytes) {
+		return fmt.Errorf("cpu: image of %d bytes at %#x exceeds memory size %d", len(data), addr, len(m.bytes))
+	}
+	copy(m.bytes[addr:], data)
+	return nil
+}
+
+func (m *Memory) check(addr uint32, n int) {
+	if int(addr)+n > len(m.bytes) {
+		panic(fmt.Sprintf("cpu: memory access of %d bytes at %#x out of bounds (size %#x)", n, addr, len(m.bytes)))
+	}
+}
+
+// Read32 loads a 32-bit word.
+func (m *Memory) Read32(addr uint32) uint32 {
+	m.check(addr, 4)
+	return uint32(m.bytes[addr]) | uint32(m.bytes[addr+1])<<8 |
+		uint32(m.bytes[addr+2])<<16 | uint32(m.bytes[addr+3])<<24
+}
+
+// Write32 stores a 32-bit word.
+func (m *Memory) Write32(addr uint32, v uint32) {
+	m.check(addr, 4)
+	m.bytes[addr] = byte(v)
+	m.bytes[addr+1] = byte(v >> 8)
+	m.bytes[addr+2] = byte(v >> 16)
+	m.bytes[addr+3] = byte(v >> 24)
+}
+
+// Read16 loads a 16-bit halfword.
+func (m *Memory) Read16(addr uint32) uint16 {
+	m.check(addr, 2)
+	return uint16(m.bytes[addr]) | uint16(m.bytes[addr+1])<<8
+}
+
+// Write16 stores a 16-bit halfword.
+func (m *Memory) Write16(addr uint32, v uint16) {
+	m.check(addr, 2)
+	m.bytes[addr] = byte(v)
+	m.bytes[addr+1] = byte(v >> 8)
+}
+
+// Read8 loads a byte.
+func (m *Memory) Read8(addr uint32) uint8 {
+	m.check(addr, 1)
+	return m.bytes[addr]
+}
+
+// Write8 stores a byte.
+func (m *Memory) Write8(addr uint32, v uint8) {
+	m.check(addr, 1)
+	m.bytes[addr] = v
+}

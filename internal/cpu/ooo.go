@@ -1,0 +1,534 @@
+package cpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config parameterizes the out-of-order timing model
+// (SimpleScalar sim-outorder defaults).
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	RUUSize     int // register update unit (reorder window) entries
+	LSQSize     int // load/store queue entries
+
+	// Functional unit counts per class.
+	FUCounts [fuClassCount]int
+
+	// Memory hierarchy.
+	L1DSize, L1DWays, L1DLine int
+	L2Size, L2Ways, L2Line    int
+	L1Latency                 int // load-to-use on L1 hit
+	L2Latency                 int // additional cycles on L1 miss / L2 hit
+	MemLatency                int // additional cycles on L2 miss
+
+	MispredictPenalty int
+	PredictorEntries  int
+}
+
+// DefaultConfig returns the configuration used for all experiments.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  4,
+		IssueWidth:  4,
+		CommitWidth: 4,
+		RUUSize:     64,
+		LSQSize:     32,
+		FUCounts: [fuClassCount]int{
+			ClassIntALU: 4,
+			ClassIntMul: 1,
+			ClassMem:    2,
+			ClassBranch: 1,
+			ClassFPAdd:  2,
+			ClassFPMul:  1,
+			ClassFPDiv:  1,
+		},
+		L1DSize: 16 << 10, L1DWays: 4, L1DLine: 32,
+		L2Size: 256 << 10, L2Ways: 8, L2Line: 64,
+		L1Latency:         2,
+		L2Latency:         10,
+		MemLatency:        80,
+		MispredictPenalty: 3,
+		PredictorEntries:  2048,
+	}
+}
+
+// BusTraces carries the simulator outputs the paper's study consumes: the
+// re-timed value streams of the integer register-file output port and the
+// external memory data bus (§4.1), plus summary statistics.
+type BusTraces struct {
+	// RegisterBus is the sequence of 32-bit values appearing on the
+	// integer register file's output port, ordered by issue time.
+	RegisterBus []uint64
+	// MemoryBus is the sequence of 32-bit data values crossing the
+	// memory data bus (cache-fill words of L1 misses and outgoing store
+	// data), ordered by the cycle the value appears on the bus.
+	MemoryBus []uint64
+	// MemoryAddrBus is the sequence of addresses on the memory address
+	// bus, one per MemoryBus beat — the traffic the related-work
+	// address-bus coders (workzone, sector) target.
+	MemoryAddrBus []uint64
+
+	Instructions   uint64
+	Cycles         uint64
+	IPC            float64
+	L1DMissRate    float64
+	L2MissRate     float64
+	BranchAccuracy float64
+}
+
+// Simulator re-times the functional core's dynamic instruction stream
+// through an out-of-order pipeline model: per-instruction fetch, dispatch,
+// issue, completion and commit times are derived from dependence,
+// bandwidth and structural constraints — the same functional-first
+// organization the paper built its bus timing generators on.
+type Simulator struct {
+	cfg  Config
+	core *Core
+	l1d  *Cache
+	l2   *Cache
+	pred *BimodalPredictor
+
+	// Per-architectural-register ready times.
+	intReady [32]uint64
+	fpReady  [32]uint64
+
+	// Ring buffer of commit times of the last RUUSize instructions (for
+	// the dispatch window constraint), and LSQ analog for memory ops.
+	commitRing []uint64
+	ringPos    int
+	lsqRing    []uint64
+	lsqPos     int
+
+	// Per-functional-unit next-free cycle.
+	fuFree [fuClassCount][]uint64
+
+	// Bandwidth accounting: issued/committed/fetched counts per cycle.
+	issueSlots  slotMap
+	commitSlots slotMap
+	fetchSlots  slotMap
+
+	// Store forwarding/conflict tracking: word address -> completion of
+	// the youngest store to it.
+	storeComplete map[uint32]uint64
+
+	fetchFrontier  uint64 // earliest cycle the next instruction can fetch
+	lastCommit     uint64 // commit time of the previous instruction (in-order)
+	lastCycle      uint64
+	pruneCountdown int // instructions until the next slot-map cleanup
+
+	// Return-address stack for predicting returns (depth-limited ring;
+	// overflow silently wraps like real hardware).
+	ras    [16]int32
+	rasTop int
+
+	regEvents  []busEvent
+	memEvents  []busEvent
+	addrEvents []busEvent
+}
+
+// rasPush records a call's return address.
+func (s *Simulator) rasPush(addr int32) {
+	s.rasTop = (s.rasTop + 1) % len(s.ras)
+	s.ras[s.rasTop] = addr
+}
+
+// rasPop predicts a return target (and consumes the entry).
+func (s *Simulator) rasPop() int32 {
+	addr := s.ras[s.rasTop]
+	s.rasTop = (s.rasTop - 1 + len(s.ras)) % len(s.ras)
+	return addr
+}
+
+type busEvent struct {
+	cycle uint64
+	seq   int // tie-break: program order
+	value uint32
+}
+
+// slotMap counts bandwidth consumption per cycle with pruning.
+type slotMap map[uint64]int
+
+// reserve finds the first cycle >= from with a free slot (capacity cap)
+// and consumes it.
+func (s slotMap) reserve(from uint64, cap int) uint64 {
+	c := from
+	for s[c] >= cap {
+		c++
+	}
+	s[c]++
+	return c
+}
+
+// NewSimulator wraps a functional core in the timing model.
+func NewSimulator(p *Program, cfg Config) (*Simulator, error) {
+	core, err := NewCore(p)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:           cfg,
+		core:          core,
+		l1d:           NewCache("l1d", cfg.L1DSize, cfg.L1DWays, cfg.L1DLine),
+		l2:            NewCache("l2", cfg.L2Size, cfg.L2Ways, cfg.L2Line),
+		pred:          NewBimodalPredictor(cfg.PredictorEntries),
+		commitRing:    make([]uint64, cfg.RUUSize),
+		lsqRing:       make([]uint64, cfg.LSQSize),
+		issueSlots:    make(slotMap),
+		commitSlots:   make(slotMap),
+		fetchSlots:    make(slotMap),
+		storeComplete: make(map[uint32]uint64),
+		fetchFrontier: 1,
+	}
+	for class := range s.fuFree {
+		n := cfg.FUCounts[class]
+		if n < 1 {
+			return nil, fmt.Errorf("cpu: functional unit class %d has no units", class)
+		}
+		s.fuFree[class] = make([]uint64, n)
+	}
+	return s, nil
+}
+
+// Run executes up to maxInstrs instructions (or until HALT), collecting at
+// most maxBusValues per bus (0 = unlimited).
+func (s *Simulator) Run(maxInstrs uint64, maxBusValues int) BusTraces {
+	cfg := s.cfg
+	var executed uint64
+	for executed < maxInstrs && !s.core.Halted() {
+		info := s.core.Step()
+		if info.Halted && info.Instr.Op != OpHalt {
+			break
+		}
+		executed++
+
+		// --- Fetch ---
+		fetch := s.fetchSlots.reserve(s.fetchFrontier, cfg.FetchWidth)
+		s.pruneSlots(fetch)
+
+		// --- Dispatch: decode depth + reorder window slot ---
+		dispatch := fetch + 2
+		if windowFree := s.commitRing[s.ringPos]; dispatch < windowFree {
+			dispatch = windowFree
+		}
+		if info.IsLoad || info.IsStore {
+			if lsqFree := s.lsqRing[s.lsqPos]; dispatch < lsqFree {
+				dispatch = lsqFree
+			}
+		}
+		// A full reorder window (or LSQ) backpressures the front end: the
+		// fetch buffer is finite, so fetch cannot run ahead of dispatch.
+		if dispatch > fetch+2 && dispatch-2 > s.fetchFrontier {
+			s.fetchFrontier = dispatch - 2
+		}
+
+		// --- Source operands ---
+		ready := dispatch + 1
+		in := info.Instr
+		switch {
+		case in.Op.IsFP():
+			// FP ops read f sources; loads/stores also read the int base.
+			if t := s.fpSrcReady(in); t > ready {
+				ready = t
+			}
+			if (info.IsLoad || info.IsStore) && s.intReady[in.Rs1] > ready {
+				ready = s.intReady[in.Rs1]
+			}
+		default:
+			if t := s.intReady[in.Rs1]; t > ready {
+				ready = t
+			}
+			if usesRs2(in.Op) {
+				if t := s.intReady[in.Rs2]; t > ready {
+					ready = t
+				}
+			}
+		}
+		// Memory ordering: a load may not issue before the youngest
+		// earlier store to the same word completes (no speculation).
+		if info.IsLoad {
+			if t := s.storeComplete[info.Addr&^3]; t > ready {
+				ready = t
+			}
+		}
+
+		// --- Issue: bandwidth + functional unit ---
+		issue := s.issueSlots.reserve(ready, cfg.IssueWidth)
+		issue = s.acquireFU(in.Op.Class(), issue)
+
+		// --- Execute/complete ---
+		complete := issue + uint64(in.Op.Latency())
+		l1Miss := false
+		if info.IsLoad || info.IsStore {
+			var lat int
+			lat, l1Miss = s.memoryLatency(info)
+			complete = issue + uint64(lat)
+		}
+
+		// --- Register bus events: operand reads at issue ---
+		for i := 0; i < info.NSrcInt; i++ {
+			s.regEvents = append(s.regEvents, busEvent{issue, len(s.regEvents), info.SrcInt[i]})
+		}
+
+		// --- Memory bus events (§4.1): load data crossing the external
+		// bus on an L1 miss arrives at completion; store data leaves the
+		// store buffer at completion. ---
+		if (info.IsLoad && l1Miss) || info.IsStore {
+			s.memEvents = append(s.memEvents, busEvent{complete, len(s.memEvents), info.Data})
+			s.addrEvents = append(s.addrEvents, busEvent{complete, len(s.addrEvents), info.Addr})
+		}
+
+		// --- Writeback: destination ready ---
+		s.setDestReady(in, info, complete)
+		if info.IsStore {
+			s.storeComplete[info.Addr&^3] = complete
+			if len(s.storeComplete) > 4*cfg.LSQSize {
+				s.pruneStores(complete)
+			}
+		}
+
+		// --- Commit: in order ---
+		commit := complete + 1
+		if commit < s.lastCommit {
+			commit = s.lastCommit
+		}
+		commit = s.commitSlots.reserve(commit, cfg.CommitWidth)
+		s.lastCommit = commit
+		s.commitRing[s.ringPos] = commit
+		s.ringPos = (s.ringPos + 1) % len(s.commitRing)
+		if info.IsLoad || info.IsStore {
+			s.lsqRing[s.lsqPos] = commit
+			s.lsqPos = (s.lsqPos + 1) % len(s.lsqRing)
+		}
+		if commit > s.lastCycle {
+			s.lastCycle = commit
+		}
+
+		// --- Control flow: train predictor, charge mispredictions ---
+		// (fetch bandwidth itself is enforced by the slot reservation; the
+		// frontier only ever moves forward.)
+		if fetch > s.fetchFrontier {
+			s.fetchFrontier = fetch
+		}
+		if info.IsControl {
+			mispredicted := false
+			switch {
+			case isConditional(in.Op):
+				predictedTaken := s.pred.PredictAndUpdate(info.Index, info.Taken)
+				mispredicted = predictedTaken != info.Taken
+			case in.Op == OpJal:
+				// Direct jumps and calls resolve in decode (BTB hit
+				// assumed); calls push the return-address stack.
+				if in.Rd == 31 {
+					s.rasPush(info.Index + 1)
+				}
+			case in.Op == OpJalr:
+				// Returns predict through the RAS; other indirect jumps
+				// are unpredicted and always redirect.
+				if in.Rs1 == 31 && in.Rd == 0 {
+					mispredicted = s.rasPop() != info.NextPC
+				} else {
+					mispredicted = true
+				}
+			}
+			if mispredicted {
+				redirect := complete + uint64(cfg.MispredictPenalty)
+				if redirect > s.fetchFrontier {
+					s.fetchFrontier = redirect
+				}
+			}
+		}
+
+		if maxBusValues > 0 && len(s.regEvents) >= maxBusValues && len(s.memEvents) >= maxBusValues {
+			break
+		}
+	}
+	return s.collect(executed, maxBusValues)
+}
+
+func (s *Simulator) fpSrcReady(in Instr) uint64 {
+	t := uint64(0)
+	switch in.Op {
+	case OpFadd, OpFsub, OpFmul, OpFdiv, OpFmin, OpFmax, OpFeq, OpFlt, OpFle:
+		if s.fpReady[in.Rs1] > t {
+			t = s.fpReady[in.Rs1]
+		}
+		if s.fpReady[in.Rs2] > t {
+			t = s.fpReady[in.Rs2]
+		}
+	case OpFneg, OpFabs, OpFmov, OpFcvtWS:
+		t = s.fpReady[in.Rs1]
+	case OpFcvtSW:
+		t = s.intReady[in.Rs1]
+	case OpFsw:
+		t = s.fpReady[in.Rs2]
+	case OpFlw:
+		// base handled by caller
+	}
+	return t
+}
+
+// destKind classifies an opcode's destination register file.
+type destKind int
+
+const (
+	destNone destKind = iota
+	destInt
+	destFP
+)
+
+func destOf(op Op) destKind {
+	info := opTable[op]
+	switch {
+	case info.isStor, info.isCtrl && op != OpJal && op != OpJalr:
+		return destNone
+	case op == OpNop, op == OpHalt:
+		return destNone
+	case op == OpFcvtWS, op == OpFeq, op == OpFlt, op == OpFle:
+		return destInt
+	case info.isFP:
+		return destFP
+	default:
+		return destInt
+	}
+}
+
+func (s *Simulator) setDestReady(in Instr, info StepInfo, complete uint64) {
+	switch destOf(in.Op) {
+	case destInt:
+		if in.Rd != 0 {
+			s.intReady[in.Rd] = complete
+		}
+	case destFP:
+		s.fpReady[in.Rd] = complete
+	}
+}
+
+// memoryLatency performs the cache accesses for a memory instruction and
+// returns its load-to-use (or store completion) latency plus whether the
+// access missed the L1 (i.e. the data word crossed the memory bus).
+func (s *Simulator) memoryLatency(info StepInfo) (int, bool) {
+	cfg := s.cfg
+	lat := cfg.L1Latency
+	res := s.l1d.Access(info.Addr, info.IsStore)
+	if res.Hit {
+		return lat, false
+	}
+	lat += cfg.L2Latency
+	l2res := s.l2.Access(info.Addr, false)
+	if !l2res.Hit {
+		lat += cfg.MemLatency
+	}
+	if res.Writeback {
+		s.l2.Access(res.WritebackAddr, true)
+	}
+	return lat, true
+}
+
+func (s *Simulator) acquireFU(class FUClass, from uint64) uint64 {
+	units := s.fuFree[class]
+	best := 0
+	for i := 1; i < len(units); i++ {
+		if units[i] < units[best] {
+			best = i
+		}
+	}
+	start := from
+	if units[best] > start {
+		start = units[best]
+	}
+	units[best] = start + 1 // fully pipelined units
+	return start
+}
+
+func (s *Simulator) pruneSlots(frontier uint64) {
+	// Amortized cleanup: every 16384 instructions, drop bandwidth entries
+	// far enough behind the fetch frontier that no future reservation can
+	// reach them (reservations start at or after the frontier minus the
+	// reorder window's reach).
+	s.pruneCountdown--
+	if s.pruneCountdown > 0 {
+		return
+	}
+	s.pruneCountdown = 16384
+	cut := frontier
+	if window := uint64(s.cfg.RUUSize) * 4; cut > window {
+		cut -= window
+	} else {
+		cut = 0
+	}
+	for _, m := range []slotMap{s.issueSlots, s.commitSlots, s.fetchSlots} {
+		for c := range m {
+			if c < cut {
+				delete(m, c)
+			}
+		}
+	}
+}
+
+func (s *Simulator) pruneStores(frontier uint64) {
+	cut := frontier
+	if cut > 512 {
+		cut -= 512
+	} else {
+		cut = 0
+	}
+	for a, t := range s.storeComplete {
+		if t < cut {
+			delete(s.storeComplete, a)
+		}
+	}
+}
+
+func (s *Simulator) collect(executed uint64, maxBusValues int) BusTraces {
+	sortEvents := func(ev []busEvent) []uint64 {
+		sort.Slice(ev, func(i, j int) bool {
+			if ev[i].cycle != ev[j].cycle {
+				return ev[i].cycle < ev[j].cycle
+			}
+			return ev[i].seq < ev[j].seq
+		})
+		out := make([]uint64, len(ev))
+		for i, e := range ev {
+			out[i] = uint64(e.value)
+		}
+		if maxBusValues > 0 && len(out) > maxBusValues {
+			out = out[:maxBusValues]
+		}
+		return out
+	}
+	t := BusTraces{
+		RegisterBus:    sortEvents(s.regEvents),
+		MemoryBus:      sortEvents(s.memEvents),
+		MemoryAddrBus:  sortEvents(s.addrEvents),
+		Instructions:   executed,
+		Cycles:         s.lastCycle,
+		L1DMissRate:    s.l1d.MissRate(),
+		L2MissRate:     s.l2.MissRate(),
+		BranchAccuracy: s.pred.Accuracy(),
+	}
+	if t.Cycles > 0 {
+		t.IPC = float64(t.Instructions) / float64(t.Cycles)
+	}
+	return t
+}
+
+func usesRs2(op Op) bool {
+	switch opTable[op].format {
+	case fmtRRR, fmtBranch:
+		return !opTable[op].isFP || op == OpFeq || op == OpFlt || op == OpFle
+	case fmtMem:
+		return opTable[op].isStor && !opTable[op].isFP
+	}
+	return false
+}
+
+func isConditional(op Op) bool {
+	switch op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+package cpu
+
+// BimodalPredictor is SimpleScalar's default branch predictor: a table of
+// 2-bit saturating counters indexed by instruction address. The timing
+// model uses it to charge misprediction bubbles (the functional core has
+// already resolved every branch).
+type BimodalPredictor struct {
+	counters []uint8
+	mask     uint32
+
+	// Statistics.
+	Lookups uint64
+	Hits    uint64
+}
+
+// NewBimodalPredictor builds a predictor with the given table size (a
+// power of two; SimpleScalar's default is 2048).
+func NewBimodalPredictor(entries int) *BimodalPredictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("cpu: predictor entries must be a positive power of two")
+	}
+	c := make([]uint8, entries)
+	for i := range c {
+		c[i] = 1 // weakly not-taken
+	}
+	return &BimodalPredictor{counters: c, mask: uint32(entries - 1)}
+}
+
+// PredictAndUpdate returns the prediction for the branch at index and
+// trains the counter with the actual outcome.
+func (b *BimodalPredictor) PredictAndUpdate(index int32, taken bool) (predictedTaken bool) {
+	i := uint32(index) & b.mask
+	predictedTaken = b.counters[i] >= 2
+	b.Lookups++
+	if predictedTaken == taken {
+		b.Hits++
+	}
+	if taken {
+		if b.counters[i] < 3 {
+			b.counters[i]++
+		}
+	} else if b.counters[i] > 0 {
+		b.counters[i]--
+	}
+	return predictedTaken
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (b *BimodalPredictor) Accuracy() float64 {
+	if b.Lookups == 0 {
+		return 0
+	}
+	return float64(b.Hits) / float64(b.Lookups)
+}

@@ -1,0 +1,169 @@
+// Package energy performs the paper's §5 system-level analysis: it
+// combines a transcoder's measured activity savings (internal/coding),
+// the wire energy model (internal/wire) and the transcoder circuit energy
+// model (internal/circuit) into energy budgets (Figure 26), total
+// energy-vs-length curves (Figures 35-36) and break-even crossover lengths
+// (Figures 37-38, Table 3).
+//
+// The governing arithmetic is linear in wire length: a trace's raw bus
+// costs E_raw(L) = e_t·L·C_raw where C_raw is the Λ-weighted activity and
+// e_t the per-transition-per-mm energy; the transcoded system costs
+// E_coded(L) = e_t·L·C_coded + N_cycles·E_pair. The crossover is where the
+// two meet:
+//
+//	L* = E_pair / (e_t · ΔC_per_cycle)
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"buspower/internal/circuit"
+	"buspower/internal/coding"
+	"buspower/internal/wire"
+)
+
+// Analysis evaluates one (trace, transcoder, technology) combination. The
+// underlying meters store transitions and couplings separately, so the
+// Λ-weighted costs are recomputed here with the technology's effective Λ
+// — a single coding.Evaluate serves every technology.
+type Analysis struct {
+	// Tech is the process node under analysis.
+	Tech wire.Technology
+	// Res holds the transcoding result (meters + op counts).
+	Res coding.Result
+	// Design identifies the circuit whose energy pays for the savings.
+	Design circuit.DesignKind
+	// Entries is the dictionary size (for leakage scaling).
+	Entries int
+
+	lambda     float64 // effective Λ of the buffered wire
+	pairPJ     float64 // encoder+decoder dynamic energy per cycle
+	leakPJ     float64 // encoder+decoder leakage per cycle
+	rawCycle   float64 // Λ-weighted raw activity per cycle
+	codedCycle float64 // Λ-weighted coded activity per cycle
+}
+
+// NewAnalysis builds the analysis. The transcoder's per-cycle energy is
+// derived from its actual operation counts via the §5.4.2 statistical
+// model, plus twice the characterized leakage (encoder and decoder).
+func NewAnalysis(tech wire.Technology, res coding.Result, design circuit.DesignKind, entries int) (Analysis, error) {
+	if res.Raw == nil || res.Coded == nil {
+		return Analysis{}, fmt.Errorf("energy: result carries no meters")
+	}
+	cycles := float64(res.Ops.Cycles)
+	if cycles == 0 {
+		return Analysis{}, fmt.Errorf("energy: transcoder reported no operation counts (scheme %s)", res.Scheme)
+	}
+	opE, err := circuit.OpEnergiesFor(tech)
+	if err != nil {
+		return Analysis{}, err
+	}
+	ch, err := circuit.Characterize(tech, design, entries)
+	if err != nil {
+		return Analysis{}, err
+	}
+	lambda := tech.EffectiveLambda(wire.Buffered)
+	a := Analysis{
+		Tech:       tech,
+		Res:        res,
+		Design:     design,
+		Entries:    entries,
+		lambda:     lambda,
+		pairPJ:     opE.PairEnergyPJ(res.Ops) / cycles,
+		leakPJ:     2 * ch.LeakagePJ,
+		rawCycle:   res.Raw.Cost(lambda) / cycles,
+		codedCycle: res.Coded.Cost(lambda) / cycles,
+	}
+	return a, nil
+}
+
+// PairEnergyPerCyclePJ returns the encoder+decoder dynamic+leakage energy
+// per cycle.
+func (a Analysis) PairEnergyPerCyclePJ() float64 { return a.pairPJ + a.leakPJ }
+
+// WithDutyCycle charges the transcoder for the machine cycles in which the
+// bus carried no beat: clocks and leakage run continuously even when the
+// bus idles. This is the effect behind the paper's §5.4.3 memory-bus
+// result — a bus with few beats per cycle amortizes its transcoder poorly.
+// Beat counts at or above the cycle count leave the analysis unchanged.
+func (a Analysis) WithDutyCycle(busBeats, machineCycles uint64) Analysis {
+	if busBeats == 0 || machineCycles <= busBeats {
+		return a
+	}
+	idle := float64(machineCycles) / float64(busBeats)
+	// Dynamic energy on idle cycles is clock/control only (~the PerCycle
+	// share); charge half the active-cycle dynamic energy per idle cycle,
+	// and leakage in full.
+	a.pairPJ += 0.5 * a.pairPJ * (idle - 1)
+	a.leakPJ *= idle
+	return a
+}
+
+// RawWirePJPerCycle returns the un-encoded bus's wire energy per cycle at
+// the given length.
+func (a Analysis) RawWirePJPerCycle(lengthMM float64) float64 {
+	return a.Tech.WeightedCostEnergyPJ(wire.Buffered, lengthMM, a.rawCycle)
+}
+
+// CodedWirePJPerCycle returns the coded bus's wire energy per cycle.
+func (a Analysis) CodedWirePJPerCycle(lengthMM float64) float64 {
+	return a.Tech.WeightedCostEnergyPJ(wire.Buffered, lengthMM, a.codedCycle)
+}
+
+// TotalPJPerCycle returns coded wire energy plus transcoder energy.
+func (a Analysis) TotalPJPerCycle(lengthMM float64) float64 {
+	return a.CodedWirePJPerCycle(lengthMM) + a.PairEnergyPerCyclePJ()
+}
+
+// NormalizedTotal returns total transcoded energy over raw wire energy —
+// the y-axis of Figures 35/36. Values below 1 mean the transcoder saves
+// energy at that length. Returns +Inf for traces with no raw activity.
+func (a Analysis) NormalizedTotal(lengthMM float64) float64 {
+	raw := a.RawWirePJPerCycle(lengthMM)
+	if raw == 0 {
+		return math.Inf(1)
+	}
+	return a.TotalPJPerCycle(lengthMM) / raw
+}
+
+// SavedPerCyclePJ returns the wire energy removed per cycle at the given
+// length — the transcoder's energy budget (Figure 26): any implementation
+// cheaper than this saves net energy.
+func (a Analysis) SavedPerCyclePJ(lengthMM float64) float64 {
+	return a.RawWirePJPerCycle(lengthMM) - a.CodedWirePJPerCycle(lengthMM)
+}
+
+// CrossoverMM returns the break-even wire length: beyond it the
+// transcoder+wire system consumes less than the bare wire. It returns
+// +Inf when the coding never pays (no activity removed).
+func (a Analysis) CrossoverMM() float64 {
+	delta := a.rawCycle - a.codedCycle
+	if delta <= 0 {
+		return math.Inf(1)
+	}
+	perMM := a.Tech.WeightedCostEnergyPJ(wire.Buffered, 1, delta)
+	return a.PairEnergyPerCyclePJ() / perMM
+}
+
+// EnergyRemovedFraction returns the fraction of Λ-weighted wire activity
+// removed, at this technology's effective Λ.
+func (a Analysis) EnergyRemovedFraction() float64 {
+	if a.rawCycle == 0 {
+		return 0
+	}
+	return 1 - a.codedCycle/a.rawCycle
+}
+
+// Budget is a standalone helper for Figure 26: the per-cycle energy
+// budget of a transcoding result at one technology and wire length,
+// without requiring a circuit design.
+func Budget(tech wire.Technology, res coding.Result, lengthMM float64) float64 {
+	lambda := tech.EffectiveLambda(wire.Buffered)
+	cycles := float64(res.Raw.Cycles())
+	if cycles <= 1 {
+		return 0
+	}
+	delta := (res.Raw.Cost(lambda) - res.Coded.Cost(lambda)) / (cycles - 1)
+	return tech.WeightedCostEnergyPJ(wire.Buffered, lengthMM, delta)
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+
+	"buspower/internal/coding"
+	"buspower/internal/workload"
+)
+
+// busWidth is the data width of the paper's studied buses.
+const busWidth = 32
+
+// evalLambda is the coupling ratio assumed in §4.4's coding-effectiveness
+// studies ("unless otherwise noted, Λ = 1").
+const evalLambda = 1.0
+
+// randomSeed feeds the uniformly random comparison trace.
+const randomSeed = 20031294 // the report number
+
+func init() {
+	register(Runner{ID: "fig15", Title: "Inversion coder: normalized energy remaining vs actual Λ (Figure 15)", Run: runFig15})
+	register(Runner{ID: "fig16", Title: "Strided predictor: normalized energy removed vs strides, memory bus (Figure 16)", Run: strideSweep("fig16", "mem")})
+	register(Runner{ID: "fig17", Title: "Strided predictor: normalized energy removed vs strides, register bus (Figure 17)", Run: strideSweep("fig17", "reg")})
+	register(Runner{ID: "fig18", Title: "Window transcoder: energy removed vs shift register size, memory bus (Figure 18)", Run: windowSweep("fig18", "mem")})
+	register(Runner{ID: "fig19", Title: "Window transcoder: energy removed vs shift register size, register bus (Figure 19)", Run: windowSweep("fig19", "reg")})
+	register(Runner{ID: "fig20", Title: "Context transcoder (transition-based): energy removed vs table size, memory bus (Figure 20)", Run: contextSweep("fig20", "mem", true)})
+	register(Runner{ID: "fig21", Title: "Context transcoder (transition-based): energy removed vs table size, register bus (Figure 21)", Run: contextSweep("fig21", "reg", true)})
+	register(Runner{ID: "fig22", Title: "Context transcoder (value-based): energy removed vs table size, memory bus (Figure 22)", Run: contextSweep("fig22", "mem", false)})
+	register(Runner{ID: "fig23", Title: "Context transcoder (value-based): energy removed vs table size, register bus (Figure 23)", Run: contextSweep("fig23", "reg", false)})
+	register(Runner{ID: "fig24", Title: "Context transcoder: energy removed vs shift register size, tables of 16 and 64 (Figure 24)", Run: runFig24})
+	register(Runner{ID: "fig25", Title: "Context transcoder: energy removed vs counter divide period, tables of 16 and 64 (Figure 25)", Run: runFig25})
+}
+
+// removedPercent evaluates a transcoder on a trace and returns the
+// percentage of Λ-weighted energy removed.
+func removedPercent(tc coding.Transcoder, trace []uint64, lambda float64) (float64, error) {
+	res, err := coding.Evaluate(tc, trace, lambda)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * res.EnergyRemoved(), nil
+}
+
+// sweepRows runs a builder over every workload (plus the random source)
+// and a parameter axis, emitting one row per (source, parameter).
+func sweepRows(t *Table, bus string, cfg Config, params []int, includeRandom bool,
+	build func(param int) (coding.Transcoder, error)) error {
+	sources := workload.Names()
+	if includeRandom {
+		sources = append([]string{"random"}, sources...)
+	}
+	n := cfg.Run.MaxBusValues
+	if n <= 0 {
+		n = 100_000
+	}
+	for _, src := range sources {
+		var tr []uint64
+		var err error
+		if src == "random" {
+			tr = workload.RandomTrace(n, randomSeed)
+		} else {
+			tr, err = busTrace(src, bus, cfg)
+			if err != nil {
+				return err
+			}
+		}
+		for _, p := range params {
+			tc, err := build(p)
+			if err != nil {
+				return err
+			}
+			pct, err := removedPercent(tc, tr, evalLambda)
+			if err != nil {
+				return err
+			}
+			t.AddRow(src, p, pct)
+		}
+	}
+	return nil
+}
+
+func strideSweep(id, bus string) func(Config) (*Table, error) {
+	return func(cfg Config) (*Table, error) {
+		params := []int{1, 2, 3, 4, 5, 8, 10, 15, 20, 25, 30}
+		if cfg.Quick {
+			params = []int{2, 5, 15, 30}
+		}
+		t := &Table{
+			ID:      id,
+			Title:   "Normalized energy removed by the strided predictor (" + bus + " bus)",
+			Columns: []string{"benchmark", "strides", "energy_removed_pct"},
+		}
+		err := sweepRows(t, bus, cfg, params, true, func(p int) (coding.Transcoder, error) {
+			return coding.NewStride(busWidth, p, evalLambda)
+		})
+		return t, err
+	}
+}
+
+func windowSweep(id, bus string) func(Config) (*Table, error) {
+	return func(cfg Config) (*Table, error) {
+		params := []int{2, 4, 8, 12, 16, 24, 32, 48, 64}
+		if cfg.Quick {
+			params = []int{4, 8, 32}
+		}
+		t := &Table{
+			ID:      id,
+			Title:   "Normalized energy removed by the window-based transcoder (" + bus + " bus)",
+			Columns: []string{"benchmark", "shift_register_size", "energy_removed_pct"},
+		}
+		err := sweepRows(t, bus, cfg, params, false, func(p int) (coding.Transcoder, error) {
+			return coding.NewWindow(busWidth, p, evalLambda)
+		})
+		return t, err
+	}
+}
+
+func contextSweep(id, bus string, transitionBased bool) func(Config) (*Table, error) {
+	return func(cfg Config) (*Table, error) {
+		params := []int{4, 8, 16, 24, 32, 48, 64}
+		if cfg.Quick {
+			params = []int{8, 32}
+		}
+		t := &Table{
+			ID:      id,
+			Title:   fmt.Sprintf("Normalized energy removed by the context-based transcoder (%s bus, shift register size 8)", bus),
+			Columns: []string{"benchmark", "table_size", "energy_removed_pct"},
+		}
+		err := sweepRows(t, bus, cfg, params, true, func(p int) (coding.Transcoder, error) {
+			return coding.NewContext(coding.ContextConfig{
+				Width: busWidth, TableSize: p, ShiftEntries: 8,
+				DividePeriod: 4096, TransitionBased: transitionBased, Lambda: evalLambda,
+			})
+		})
+		return t, err
+	}
+}
+
+// fig24Benchmarks mirror the paper's Figure 24/25 legend.
+var fig24Benchmarks = []string{"li", "compress", "gcc", "perl", "fpppp", "apsi", "swim"}
+
+func runFig24(cfg Config) (*Table, error) {
+	srSizes := []int{2, 4, 8, 12, 16, 24, 32}
+	if cfg.Quick {
+		srSizes = []int{4, 8, 16}
+	}
+	t := &Table{
+		ID:      "fig24",
+		Title:   "Energy removed vs shift register size on the register bus (value-based, tables of 16 and 64)",
+		Columns: []string{"benchmark", "table_size", "shift_register_size", "energy_removed_pct"},
+	}
+	for _, name := range fig24Benchmarks {
+		tr, err := busTrace(name, "reg", cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, tbl := range []int{16, 64} {
+			for _, sr := range srSizes {
+				ctx, err := coding.NewContext(coding.ContextConfig{
+					Width: busWidth, TableSize: tbl, ShiftEntries: sr,
+					DividePeriod: 4096, Lambda: evalLambda,
+				})
+				if err != nil {
+					return nil, err
+				}
+				pct, err := removedPercent(ctx, tr, evalLambda)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(name, tbl, sr, pct)
+			}
+		}
+	}
+	return t, nil
+}
+
+func runFig25(cfg Config) (*Table, error) {
+	periods := []int{4, 16, 64, 256, 1024, 4096, 16384}
+	if cfg.Quick {
+		periods = []int{16, 1024, 16384}
+	}
+	t := &Table{
+		ID:      "fig25",
+		Title:   "Energy removed vs counter divide period on the register bus (value-based, shift register size 8)",
+		Columns: []string{"benchmark", "table_size", "divide_period", "energy_removed_pct"},
+	}
+	for _, name := range fig24Benchmarks {
+		tr, err := busTrace(name, "reg", cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, tbl := range []int{16, 64} {
+			for _, period := range periods {
+				ctx, err := coding.NewContext(coding.ContextConfig{
+					Width: busWidth, TableSize: tbl, ShiftEntries: 8,
+					DividePeriod: period, Lambda: evalLambda,
+				})
+				if err != nil {
+					return nil, err
+				}
+				pct, err := removedPercent(ctx, tr, evalLambda)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(name, tbl, period, pct)
+			}
+		}
+	}
+	return t, nil
+}
+
+func runFig15(cfg Config) (*Table, error) {
+	lambdas := []float64{0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100}
+	if cfg.Quick {
+		lambdas = []float64{0.1, 1, 10, 100}
+	}
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Inversion coder: normalized energy remaining (%) vs actual wire Λ for cost functions assuming Λ=0, Λ=1 and the true Λ",
+		Columns: []string{"source", "cost_function", "actual_lambda", "energy_remaining_pct"},
+	}
+	pats, err := coding.DefaultInversionPatterns(busWidth, 4)
+	if err != nil {
+		return nil, err
+	}
+	// Sources: benchmark-average register bus, benchmark-average memory
+	// bus, and uniformly random traffic.
+	type source struct {
+		name string
+		bus  string
+	}
+	sources := []source{{"register bus average", "reg"}, {"memory bus average", "mem"}, {"random", ""}}
+	n := cfg.Run.MaxBusValues
+	if n <= 0 {
+		n = 100_000
+	}
+	for _, src := range sources {
+		var traces [][]uint64
+		if src.bus == "" {
+			traces = [][]uint64{workload.RandomTrace(n, randomSeed)}
+		} else {
+			for _, b := range fig7Benchmarks {
+				tr, err := busTrace(b, src.bus, cfg)
+				if err != nil {
+					return nil, err
+				}
+				traces = append(traces, tr)
+			}
+		}
+		for _, variant := range []struct {
+			label   string
+			assumed func(actual float64) float64
+		}{
+			{"lambda0", func(float64) float64 { return 0 }},
+			{"lambda1", func(float64) float64 { return 1 }},
+			{"lambdaN", func(actual float64) float64 { return actual }},
+		} {
+			for _, actual := range lambdas {
+				inv, err := coding.NewInversion(busWidth, pats, variant.assumed(actual))
+				if err != nil {
+					return nil, err
+				}
+				sum := 0.0
+				for _, tr := range traces {
+					res, err := coding.Evaluate(inv, tr, actual)
+					if err != nil {
+						return nil, err
+					}
+					sum += 100 * res.EnergyRemaining()
+				}
+				t.AddRow(src.name, variant.label, actual, sum/float64(len(traces)))
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,385 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickCfg is shared across tests; workload traces are cached per config,
+// so one simulation run serves the whole file.
+var quickCfg = QuickConfig()
+
+func mustRun(t *testing.T, id string) *Table {
+	t.Helper()
+	tbl, err := Run(id, quickCfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s: empty table", id)
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("%s: row %d has %d cells, want %d", id, i, len(row), len(tbl.Columns))
+		}
+	}
+	return tbl
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3",
+		"fig5", "fig6", "fig7", "fig8", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
+		"fig26", "fig35", "fig36", "fig37", "fig38",
+		"extaddr", "extvlc", "extscale", "extctx",
+	}
+	ids := IDs()
+	got := map[string]bool{}
+	for _, id := range ids {
+		got[id] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("registry holds %d experiments, want %d", len(ids), len(want))
+	}
+	titles := Titles()
+	for _, id := range ids {
+		if titles[id] == "" {
+			t.Errorf("%s has no title", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", quickCfg); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			mustRun(t, id)
+		})
+	}
+}
+
+func TestTSVFormat(t *testing.T) {
+	tbl := mustRun(t, "table1")
+	tsv := tbl.TSV()
+	lines := strings.Split(strings.TrimSpace(tsv), "\n")
+	if !strings.HasPrefix(lines[0], "# table1:") {
+		t.Error("TSV missing title comment")
+	}
+	if lines[1] != "technology\twire_type\taverage_lambda" {
+		t.Errorf("TSV header = %q", lines[1])
+	}
+	if len(lines) != 2+len(tbl.Rows) {
+		t.Errorf("TSV line count %d", len(lines))
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tbl := mustRun(t, "table1")
+	want := map[string]float64{
+		"0.13um/Unbuffered wire": 14.0,
+		"0.13um/With repeaters":  0.670,
+		"0.10um/Unbuffered wire": 16.6,
+		"0.10um/With repeaters":  0.576,
+		"0.07um/Unbuffered wire": 14.5,
+		"0.07um/With repeaters":  0.591,
+	}
+	for i, row := range tbl.Rows {
+		key := row[0] + "/" + row[1]
+		v, err := tbl.Float(i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, ok := want[key]; !ok || math.Abs(v-w)/w > 0.01 {
+			t.Errorf("%s: Λ=%v, want %v", key, v, want[key])
+		}
+	}
+}
+
+func TestFig5EnergyIncreasing(t *testing.T) {
+	tbl := mustRun(t, "fig5")
+	// Column 1 is Repeater_0.13um; values must increase down the rows and
+	// stay within the paper's 0-6 pJ band.
+	prev := -1.0
+	for i := range tbl.Rows {
+		v, err := tbl.Float(i, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= prev {
+			t.Errorf("row %d: energy %v not increasing", i, v)
+		}
+		if v < 0 || v > 6.5 {
+			t.Errorf("row %d: energy %v outside Figure 5 band", i, v)
+		}
+		prev = v
+	}
+}
+
+func TestFig6DelayShape(t *testing.T) {
+	tbl := mustRun(t, "fig6")
+	// Unbuffered delay (columns 4..6) must exceed buffered (1..3) at the
+	// longest length.
+	last := len(tbl.Rows) - 1
+	for c := 1; c <= 3; c++ {
+		buf, _ := tbl.Float(last, c)
+		unbuf, _ := tbl.Float(last, c+3)
+		if unbuf <= buf {
+			t.Errorf("column %d: unbuffered %v should exceed buffered %v at 30mm", c, unbuf, buf)
+		}
+	}
+}
+
+func TestFig7CoverageMonotone(t *testing.T) {
+	tbl := mustRun(t, "fig7")
+	// Within one (benchmark, bus) group, coverage must not decrease as the
+	// unique-value budget grows.
+	lastKey := ""
+	prev := 0.0
+	for i, row := range tbl.Rows {
+		key := row[0] + "/" + row[1]
+		cov, err := tbl.Float(i, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key == lastKey && cov < prev-1e-9 {
+			t.Errorf("%s: coverage decreased (%v -> %v)", key, prev, cov)
+		}
+		if cov < 0 || cov > 1 {
+			t.Errorf("%s: coverage %v outside [0,1]", key, cov)
+		}
+		lastKey, prev = key, cov
+	}
+}
+
+func TestFig8UniqueFractionsShowLocality(t *testing.T) {
+	tbl := mustRun(t, "fig8")
+	// At window 1000 no benchmark's bus should look fully random:
+	// fractions must be clearly below 1.
+	for i, row := range tbl.Rows {
+		w, _ := strconv.Atoi(row[2])
+		if w < 1000 {
+			continue
+		}
+		f, err := tbl.Float(i, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f > 0.9 {
+			t.Errorf("%s/%s window %d: unique fraction %v looks random", row[0], row[1], w, f)
+		}
+	}
+}
+
+// The paper's Figure 15 point: evaluating inversion coders on random data
+// makes them look better (lower energy remaining) than on real traffic at
+// moderate-to-high Λ.
+func TestFig15RandomLooksBetter(t *testing.T) {
+	tbl := mustRun(t, "fig15")
+	remaining := map[string]float64{} // source/cost/lambda -> pct
+	for i, row := range tbl.Rows {
+		v, err := tbl.Float(i, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remaining[row[0]+"/"+row[1]+"/"+row[2]] = v
+	}
+	rand1, okA := remaining["random/lambda1/1"]
+	reg1, okB := remaining["register bus average/lambda1/1"]
+	if !okA || !okB {
+		t.Fatalf("missing fig15 rows: %v", remaining)
+	}
+	if rand1 >= reg1 {
+		t.Errorf("at Λ=1 random traffic (%.1f%% remaining) should look better than register traffic (%.1f%%)", rand1, reg1)
+	}
+	// λN must never be worse than λ0 at high Λ on the same source.
+	for _, src := range []string{"random", "register bus average", "memory bus average"} {
+		n := remaining[src+"/lambdaN/100"]
+		z := remaining[src+"/lambda0/100"]
+		if n > z*1.01 {
+			t.Errorf("%s: λN (%.2f%%) worse than λ0 (%.2f%%) at Λ=100", src, n, z)
+		}
+	}
+}
+
+func TestFig19WindowSavingsGrowWithSize(t *testing.T) {
+	tbl := mustRun(t, "fig19")
+	// For each benchmark, savings at the largest size must be at least the
+	// savings at the smallest size.
+	type span struct{ small, large float64 }
+	spans := map[string]*span{}
+	for i, row := range tbl.Rows {
+		size, _ := strconv.Atoi(row[1])
+		v, err := tbl.Float(i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := spans[row[0]]
+		if s == nil {
+			s = &span{}
+			spans[row[0]] = s
+		}
+		if size == 4 {
+			s.small = v
+		}
+		if size == 32 {
+			s.large = v
+		}
+	}
+	grow := 0
+	for name, s := range spans {
+		if s.large >= s.small-0.5 {
+			grow++
+		} else {
+			t.Logf("%s: savings shrank %v -> %v", name, s.small, s.large)
+		}
+	}
+	if grow < len(spans)*3/4 {
+		t.Errorf("only %d/%d benchmarks grow savings with window size", grow, len(spans))
+	}
+}
+
+// §4.4's design decision: value-based context coding beats transition-based
+// for the same hardware.
+func TestValueBasedBeatsTransitionBased(t *testing.T) {
+	value := mustRun(t, "fig23")
+	transition := mustRun(t, "fig21")
+	avg := func(tbl *Table) float64 {
+		sum, n := 0.0, 0
+		for i, row := range tbl.Rows {
+			if row[0] == "random" {
+				continue
+			}
+			v, err := tbl.Float(i, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+			n++
+		}
+		return sum / float64(n)
+	}
+	if a, b := avg(value), avg(transition); a < b {
+		t.Errorf("value-based average %.2f%% < transition-based %.2f%%", a, b)
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	tbl := mustRun(t, "table2")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("table2 should have 3 window rows + 1 inversion row, got %d", len(tbl.Rows))
+	}
+	// The measured encoder energy must be within 25% of the Table 2 anchor
+	// for each technology (the statistical model's validation, §5.4.2).
+	for i := 0; i < 3; i++ {
+		anchor, _ := tbl.Float(i, 4)
+		measured, _ := tbl.Float(i, 5)
+		if math.Abs(measured-anchor)/anchor > 0.25 {
+			t.Errorf("row %d: measured %.3f vs anchor %.3f diverges >25%%", i, measured, anchor)
+		}
+	}
+}
+
+func TestFig26BudgetGrowsWithLength(t *testing.T) {
+	tbl := mustRun(t, "fig26")
+	// Group rows by (design, entries); budget must increase with length.
+	type key struct{ design, entries string }
+	byKey := map[key]map[string]float64{}
+	for i, row := range tbl.Rows {
+		k := key{row[0], row[2]}
+		if byKey[k] == nil {
+			byKey[k] = map[string]float64{}
+		}
+		v, err := tbl.Float(i, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byKey[k][row[1]] = v
+	}
+	for k, lens := range byKey {
+		if lens["5"] > lens["10"] || lens["10"] > lens["15"] {
+			t.Errorf("%v: budget not increasing with length: %v", k, lens)
+		}
+	}
+}
+
+func TestFig35NormalizedTotalDecreasesWithLength(t *testing.T) {
+	tbl := mustRun(t, "fig35")
+	lastBench := ""
+	prev := math.Inf(1)
+	for i, row := range tbl.Rows {
+		v, err := tbl.Float(i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0] == lastBench && v > prev+1e-9 {
+			t.Errorf("%s: normalized total increased with length", row[0])
+		}
+		lastBench, prev = row[0], v
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tbl := mustRun(t, "table3")
+	get := func(tech string, entries int, suite string) float64 {
+		for i, row := range tbl.Rows {
+			if row[0] == tech && row[1] == strconv.Itoa(entries) && row[2] == suite {
+				if row[3] == "inf" {
+					return math.Inf(1)
+				}
+				v, err := tbl.Float(i, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("missing table3 row %s/%d/%s", tech, entries, suite)
+		return 0
+	}
+	// Crossovers must shrink with technology (the paper's scaling claim).
+	for _, suite := range []string{"ALL"} {
+		for _, entries := range []int{8, 16} {
+			l13 := get("0.13um", entries, suite)
+			l10 := get("0.10um", entries, suite)
+			l07 := get("0.07um", entries, suite)
+			if !(l13 > l10 && l10 > l07) {
+				t.Errorf("%s/%d: crossovers do not shrink with technology: %v %v %v", suite, entries, l13, l10, l07)
+			}
+		}
+	}
+}
+
+func TestQuickVsFullAxes(t *testing.T) {
+	// Quick mode must shrink the sweep, not change its schema.
+	q, err := Run("fig5", QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Run("fig5", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Columns) != len(f.Columns) {
+		t.Error("quick mode changed the schema")
+	}
+	if len(q.Rows) >= len(f.Rows) {
+		t.Error("quick mode did not shrink the sweep")
+	}
+}

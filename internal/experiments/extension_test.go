@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtAddrWorkzoneWins(t *testing.T) {
+	tbl := mustRun(t, "extaddr")
+	// On address traffic the workzone coder must beat the window design on
+	// average — the traffic-structure point the extension makes.
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for i, row := range tbl.Rows {
+		v, err := tbl.Float(i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[row[1]] += v
+		counts[row[1]]++
+	}
+	avg := func(scheme string) float64 {
+		if counts[scheme] == 0 {
+			t.Fatalf("no rows for %s", scheme)
+		}
+		return sums[scheme] / float64(counts[scheme])
+	}
+	if avg("workzone-4z") <= avg("window-8") {
+		t.Errorf("workzone (%.1f%%) should beat window (%.1f%%) on the address bus",
+			avg("workzone-4z"), avg("window-8"))
+	}
+}
+
+func TestExtVLCTimeCompression(t *testing.T) {
+	tbl := mustRun(t, "extvlc")
+	for i, row := range tbl.Rows {
+		ratio, err := tbl.Float(i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio <= 0 || ratio >= 1.2 {
+			t.Errorf("%s: implausible beat ratio %v", row[0], ratio)
+		}
+	}
+}
+
+func TestExtScaleMonotone(t *testing.T) {
+	tbl := mustRun(t, "extscale")
+	prev := map[string]float64{}
+	for i, row := range tbl.Rows {
+		v, err := tbl.Float(i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rows run from 130nm downward: crossover must not grow.
+		if p, ok := prev[row[1]]; ok && v > p+1e-9 {
+			t.Errorf("%snm %s-entry: crossover grew (%v -> %v)", row[0], row[1], p, v)
+		}
+		prev[row[1]] = v
+	}
+}
+
+func TestExtCtxWindowWinsBreakEven(t *testing.T) {
+	tbl := mustRun(t, "extctx")
+	xover := map[string]float64{}
+	for i, row := range tbl.Rows {
+		v, err := tbl.Float(i, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xover[row[0]+"/"+row[1]] = v
+	}
+	for _, tech := range []string{"0.13um", "0.10um", "0.07um"} {
+		w, okW := xover["window-32/"+tech]
+		c, okC := xover["context-24t+8s/"+tech]
+		if !okW || !okC {
+			t.Fatalf("missing extctx rows for %s", tech)
+		}
+		if w >= c {
+			t.Errorf("%s: window crossover (%v) should beat context (%v) — §5.4.3", tech, w, c)
+		}
+	}
+}
+
+// Docs-code consistency: every registered experiment must appear in
+// DESIGN.md's per-experiment index.
+func TestDesignDocCoversAllExperiments(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, id := range IDs() {
+		if !strings.Contains(doc, "`"+id+"`") {
+			t.Errorf("experiment %s missing from DESIGN.md's index", id)
+		}
+	}
+	// And the sort order groups tables, figures, extensions.
+	ids := IDs()
+	if ids[0] != "table1" || ids[len(ids)-1][:3] != "ext" {
+		t.Errorf("unexpected ordering: first %s last %s", ids[0], ids[len(ids)-1])
+	}
+	figSeen := -1
+	for _, id := range ids {
+		if strings.HasPrefix(id, "fig") {
+			n, _ := strconv.Atoi(id[3:])
+			if n < figSeen {
+				t.Errorf("figure ids out of order at %s", id)
+			}
+			figSeen = n
+		}
+	}
+}

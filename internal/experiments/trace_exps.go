@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"buspower/internal/stats"
+	"buspower/internal/workload"
+)
+
+// fig7Benchmarks are the four benchmarks the paper's Figures 7-8 examine.
+var fig7Benchmarks = []string{"gcc", "su2cor", "swim", "turb3d"}
+
+func init() {
+	register(Runner{
+		ID:    "fig7",
+		Title: "CDF of most frequent unique values in 10M-value traces (Figure 7)",
+		Run:   runFig7,
+	})
+	register(Runner{
+		ID:    "fig8",
+		Title: "Average fraction of unique values within a window vs window size (Figure 8)",
+		Run:   runFig8,
+	})
+}
+
+// busTrace fetches one bus of a workload's traffic.
+func busTrace(name, bus string, cfg Config) ([]uint64, error) {
+	ts, err := workload.Traces(name, cfg.Run)
+	if err != nil {
+		return nil, err
+	}
+	switch bus {
+	case "reg":
+		return ts.Reg, nil
+	case "mem":
+		return ts.Mem, nil
+	case "addr":
+		return ts.Addr, nil
+	default:
+		return nil, fmt.Errorf("unknown bus %q", bus)
+	}
+}
+
+func runFig7(cfg Config) (*Table, error) {
+	counts := []int{1, 10, 100, 1000, 10000, 100000}
+	if cfg.Quick {
+		counts = []int{1, 10, 100, 1000}
+	}
+	t := &Table{
+		ID:      "fig7",
+		Title:   "Fraction of total trace covered by the N most frequent unique values",
+		Columns: []string{"benchmark", "bus", "unique_values", "coverage"},
+	}
+	for _, name := range fig7Benchmarks {
+		for _, bus := range []string{"reg", "mem"} {
+			tr, err := busTrace(name, bus, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cdf := stats.FrequencyCDF(tr)
+			for _, n := range counts {
+				t.AddRow(name, bus, n, stats.CoverageAt(cdf, n))
+			}
+		}
+	}
+	return t, nil
+}
+
+func runFig8(cfg Config) (*Table, error) {
+	windows := []int{1, 4, 10, 40, 100, 400, 1000, 4000, 10000}
+	if cfg.Quick {
+		windows = []int{1, 10, 100, 1000}
+	}
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Average fraction of values unique within a sliding window",
+		Columns: []string{"benchmark", "bus", "window", "unique_fraction"},
+	}
+	for _, name := range fig7Benchmarks {
+		for _, bus := range []string{"reg", "mem"} {
+			tr, err := busTrace(name, bus, cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, w := range windows {
+				if w > len(tr) {
+					continue
+				}
+				t.AddRow(name, bus, w, stats.WindowUniqueFraction(tr, w))
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import "buspower/internal/wire"
+
+func init() {
+	register(Runner{
+		ID:    "table1",
+		Title: "Effective Λ values for various technologies (Table 1)",
+		Run:   runTable1,
+	})
+	register(Runner{
+		ID:    "fig5",
+		Title: "Wire energy vs length for repeated and unbuffered wires (Figure 5)",
+		Run:   runFig5,
+	})
+	register(Runner{
+		ID:    "fig6",
+		Title: "Wire propagation delay vs length (Figure 6)",
+		Run:   runFig6,
+	})
+}
+
+func runTable1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "table1",
+		Title:   "Effective Λ values for various technologies",
+		Columns: []string{"technology", "wire_type", "average_lambda"},
+	}
+	for _, tech := range wire.Technologies() {
+		for _, kind := range []wire.Kind{wire.Unbuffered, wire.Buffered} {
+			t.AddRow(tech.Name, kind.String(), tech.EffectiveLambda(kind))
+		}
+	}
+	return t, nil
+}
+
+// wireSweep builds the Figure 5/6 series: one column per
+// technology × wire-kind, one row per length.
+func wireSweep(id, title, unit string, cfg Config, sample func(wire.Technology, wire.Kind, float64) float64) *Table {
+	t := &Table{ID: id, Title: title}
+	t.Columns = []string{"length_mm"}
+	type series struct {
+		tech wire.Technology
+		kind wire.Kind
+	}
+	var ss []series
+	for _, kind := range []wire.Kind{wire.Buffered, wire.Unbuffered} {
+		for _, tech := range wire.Technologies() {
+			ss = append(ss, series{tech, kind})
+			label := "Repeater_"
+			if kind == wire.Unbuffered {
+				label = "Wire_"
+			}
+			t.Columns = append(t.Columns, label+tech.Name+"_"+unit)
+		}
+	}
+	step := 1.0
+	if cfg.Quick {
+		step = 5.0
+	}
+	for l := 1.0; l <= 30.0+1e-9; l += step {
+		row := make([]interface{}, 0, len(ss)+1)
+		row = append(row, l)
+		for _, s := range ss {
+			row = append(row, sample(s.tech, s.kind, l))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func runFig5(cfg Config) (*Table, error) {
+	return wireSweep("fig5", "Single-transition wire energy vs length", "pJ", cfg,
+		func(tech wire.Technology, kind wire.Kind, l float64) float64 {
+			return tech.SingleTransitionEnergyPJ(kind, l)
+		}), nil
+}
+
+func runFig6(cfg Config) (*Table, error) {
+	return wireSweep("fig6", "Wire propagation delay vs length", "ps", cfg,
+		func(tech wire.Technology, kind wire.Kind, l float64) float64 {
+			return tech.DelayPS(kind, l)
+		}), nil
+}

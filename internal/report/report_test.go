@@ -1,0 +1,70 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"buspower/internal/experiments"
+)
+
+func TestCheckGrading(t *testing.T) {
+	cases := []struct {
+		c    Check
+		want Verdict
+	}{
+		{Check{Paper: 10, Measured: 10.5, Tolerance: 0.1, TrendHolds: true}, VerdictMatch},
+		{Check{Paper: 10, Measured: 15, Tolerance: 0.1, TrendHolds: true}, VerdictShape},
+		{Check{Paper: 10, Measured: 15, Tolerance: 0.1, TrendHolds: false}, VerdictDiverges},
+		{Check{Paper: 0, Measured: 3, TrendHolds: true}, VerdictMatch},
+		{Check{Paper: 0, Measured: 3, TrendHolds: false}, VerdictDiverges},
+		{Check{Paper: -5, Measured: -5.1, Tolerance: 0.05, TrendHolds: false}, VerdictMatch},
+	}
+	for i, c := range cases {
+		if got := c.c.Grade(); got != c.want {
+			t.Errorf("case %d: Grade() = %s, want %s", i, got, c.want)
+		}
+	}
+}
+
+func TestBuildAndRender(t *testing.T) {
+	r, err := Build(experiments.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Checks) < 15 {
+		t.Fatalf("only %d checks assembled", len(r.Checks))
+	}
+	diverged := 0
+	for _, c := range r.Checks {
+		if c.Grade() == VerdictDiverges {
+			diverged++
+			t.Logf("DIVERGES: %s / %s (paper %v, measured %v)", c.Artifact, c.Name, c.Paper, c.Measured)
+		}
+		if math.IsNaN(c.Measured) {
+			t.Errorf("check %s/%s measured NaN", c.Artifact, c.Name)
+		}
+	}
+	// The reproduction must not diverge on more than 3 checks even at the
+	// quick scale (shorter traces move numbers, not trends).
+	if diverged > 3 {
+		t.Errorf("%d checks diverge", diverged)
+	}
+	md := r.Markdown()
+	for _, want := range []string{
+		"# Reproduction self-check",
+		"| artifact |",
+		"table1", "table2", "table3", "fig15", "fig19", "fig23",
+		"Summary:",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	// Table 1 is solved from the anchors: all six Λ checks must MATCH.
+	for _, c := range r.Checks {
+		if c.Artifact == "table1" && c.Grade() != VerdictMatch {
+			t.Errorf("table1 check %q did not MATCH (measured %v)", c.Name, c.Measured)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package stats
+
+import "sort"
+
+// FrequencyCDF computes the cumulative distribution of the most frequent
+// unique values in a trace, reproducing the statistic of the paper's
+// Figure 7: point i of the result is the fraction of all trace entries
+// covered by the i+1 most frequent unique values.
+//
+// The returned slice is non-decreasing and ends at 1 for non-empty input;
+// it is empty for empty input.
+func FrequencyCDF(trace []uint64) []float64 {
+	if len(trace) == 0 {
+		return nil
+	}
+	counts := make(map[uint64]int, 1024)
+	for _, v := range trace {
+		counts[v]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	cdf := make([]float64, len(freqs))
+	total := float64(len(trace))
+	running := 0
+	for i, c := range freqs {
+		running += c
+		cdf[i] = float64(running) / total
+	}
+	return cdf
+}
+
+// CoverageAt returns the fraction of trace entries covered by the n most
+// frequent unique values (1.0 if n exceeds the number of unique values, 0
+// for empty traces or n <= 0).
+func CoverageAt(cdf []float64, n int) float64 {
+	if len(cdf) == 0 || n <= 0 {
+		return 0
+	}
+	if n > len(cdf) {
+		n = len(cdf)
+	}
+	return cdf[n-1]
+}
+
+// WindowUniqueFraction computes the statistic of the paper's Figure 8: the
+// average, over all length-window windows of the trace, of the fraction of
+// values within the window that are unique (appear exactly once in that
+// window). Windows slide by one position. A window size of 1 always yields
+// 1. It returns 0 when the trace is shorter than the window.
+func WindowUniqueFraction(trace []uint64, window int) float64 {
+	if window <= 0 || len(trace) < window {
+		return 0
+	}
+	counts := make(map[uint64]int, window*2)
+	unique := 0 // number of values with count exactly 1 in current window
+	add := func(v uint64) {
+		c := counts[v]
+		counts[v] = c + 1
+		switch c {
+		case 0:
+			unique++
+		case 1:
+			unique--
+		}
+	}
+	remove := func(v uint64) {
+		c := counts[v]
+		switch c {
+		case 1:
+			delete(counts, v)
+			unique--
+		case 2:
+			counts[v] = 1
+			unique++
+		default:
+			counts[v] = c - 1
+		}
+	}
+	for i := 0; i < window; i++ {
+		add(trace[i])
+	}
+	sum := float64(unique)
+	n := 1
+	for i := window; i < len(trace); i++ {
+		remove(trace[i-window])
+		add(trace[i])
+		sum += float64(unique)
+		n++
+	}
+	return sum / float64(n) / float64(window)
+}
+
+// UniqueCount returns the number of distinct values in the trace.
+func UniqueCount(trace []uint64) int {
+	seen := make(map[uint64]struct{}, 1024)
+	for _, v := range trace {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}

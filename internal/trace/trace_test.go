@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "gcc/reg", Width: 32, Values: []uint64{1, 2, 3, 0xFFFFFFFF, 0}}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Width != orig.Width || len(got.Values) != len(orig.Values) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range orig.Values {
+		if got.Values[i] != orig.Values[i] {
+			t.Fatalf("value %d: %d != %d", i, got.Values[i], orig.Values[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	orig := &Trace{Name: "", Width: 8, Values: nil}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Values) != 0 {
+		t.Error("expected empty values")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a trace file at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	orig := &Trace{Name: "x", Width: 16, Values: []uint64{1, 2, 3, 4}}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestWriteRejectsInvalidWidth(t *testing.T) {
+	bad := &Trace{Name: "x", Width: 0, Values: nil}
+	if err := bad.Write(&bytes.Buffer{}); err == nil {
+		t.Error("width 0 accepted")
+	}
+	bad.Width = 65
+	if err := bad.Write(&bytes.Buffer{}); err == nil {
+		t.Error("width 65 accepted")
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	values := []uint64{5, 5, 5, 5, 7, 7, 9, 11}
+	c := Characterize(values, []int{1, 2, 4})
+	if c.Values != 8 || c.Unique != 4 {
+		t.Errorf("values=%d unique=%d", c.Values, c.Unique)
+	}
+	if got := c.CoverageAt(1); got != 0.5 {
+		t.Errorf("CoverageAt(1) = %v", got)
+	}
+	if got := c.CoverageAt(4); got != 1.0 {
+		t.Errorf("CoverageAt(4) = %v", got)
+	}
+	if c.WindowUnique[1] != 1 {
+		t.Error("window 1 should be fully unique")
+	}
+	if c.WindowUnique[4] >= 1 {
+		t.Error("window 4 over repeated values should be below 1")
+	}
+}

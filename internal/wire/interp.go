@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interpolate synthesizes a technology descriptor for an intermediate
+// feature size by log-linear interpolation between the anchored nodes —
+// the paper's §6 asks how transcoding scales as "Moore's law marches
+// forward", and this lets the crossover analysis sweep feature size as a
+// continuous axis. Requested sizes must lie within [70, 130] nm; the
+// anchored nodes return their exact published parameters.
+func Interpolate(featureNM int) (Technology, error) {
+	techs := Technologies()
+	sort.Slice(techs, func(i, j int) bool { return techs[i].FeatureNM > techs[j].FeatureNM })
+	if featureNM > techs[0].FeatureNM || featureNM < techs[len(techs)-1].FeatureNM {
+		return Technology{}, fmt.Errorf("wire: feature size %dnm outside the anchored range [%d, %d]",
+			featureNM, techs[len(techs)-1].FeatureNM, techs[0].FeatureNM)
+	}
+	for _, t := range techs {
+		if t.FeatureNM == featureNM {
+			return t, nil
+		}
+	}
+	// Find the bracketing anchors.
+	var hi, lo Technology
+	for i := 0; i+1 < len(techs); i++ {
+		if techs[i].FeatureNM > featureNM && featureNM > techs[i+1].FeatureNM {
+			hi, lo = techs[i], techs[i+1]
+			break
+		}
+	}
+	// Interpolate log-linearly in feature size (process parameters scale
+	// multiplicatively between nodes).
+	f := (math.Log(float64(hi.FeatureNM)) - math.Log(float64(featureNM))) /
+		(math.Log(float64(hi.FeatureNM)) - math.Log(float64(lo.FeatureNM)))
+	lerp := func(a, b float64) float64 { return a * math.Pow(b/a, f) }
+	t := Technology{
+		Name:                    fmt.Sprintf("%.2fum", float64(featureNM)/1000),
+		FeatureNM:               featureNM,
+		Vdd:                     lerp(hi.Vdd, lo.Vdd),
+		CapSubstrate:            lerp(hi.CapSubstrate, lo.CapSubstrate),
+		CapCoupling:             lerp(hi.CapCoupling, lo.CapCoupling),
+		CapRepeater:             lerp(hi.CapRepeater, lo.CapRepeater),
+		RepeaterPitchMM:         lerp(hi.RepeaterPitchMM, lo.RepeaterPitchMM),
+		RepeaterSizeX:           lerp(hi.RepeaterSizeX, lo.RepeaterSizeX),
+		BufferedDelayPSPerMM:    lerp(hi.BufferedDelayPSPerMM, lo.BufferedDelayPSPerMM),
+		CascadeDelayPS:          lerp(hi.CascadeDelayPS, lo.CascadeDelayPS),
+		UnbufferedDelayPSPerMM2: lerp(hi.UnbufferedDelayPSPerMM2, lo.UnbufferedDelayPSPerMM2),
+		CycleTimeNS:             lerp(hi.CycleTimeNS, lo.CycleTimeNS),
+	}
+	return t, nil
+}

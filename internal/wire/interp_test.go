@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterpolateAnchorsExact(t *testing.T) {
+	for _, anchor := range Technologies() {
+		got, err := Interpolate(anchor.FeatureNM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != anchor {
+			t.Errorf("%dnm: interpolation did not return the anchor exactly", anchor.FeatureNM)
+		}
+	}
+}
+
+func TestInterpolateMonotone(t *testing.T) {
+	// Vdd, capacitances and cycle time must vary monotonically across the
+	// swept range (each bracket is monotone; check a fine sweep).
+	prevVdd := math.Inf(1)
+	for nm := 130; nm >= 70; nm -= 5 {
+		tech, err := Interpolate(nm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tech.Vdd > prevVdd+1e-12 {
+			t.Errorf("%dnm: Vdd %v not non-increasing", nm, tech.Vdd)
+		}
+		prevVdd = tech.Vdd
+		if tech.FeatureNM != nm {
+			t.Errorf("feature size not preserved: %d", tech.FeatureNM)
+		}
+		// The derived quantities must stay physical.
+		if tech.EffectiveLambda(Buffered) <= 0 || tech.EnergyPerTransitionPJ(Buffered, 10) <= 0 {
+			t.Errorf("%dnm: non-physical derived values", nm)
+		}
+	}
+}
+
+func TestInterpolateBetweenNodes(t *testing.T) {
+	mid, err := Interpolate(115)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mid.Vdd < Tech130.Vdd && mid.Vdd > Tech100.Vdd) {
+		t.Errorf("115nm Vdd %v not between anchors", mid.Vdd)
+	}
+	if !(mid.CapCoupling > Tech130.CapCoupling && mid.CapCoupling < Tech100.CapCoupling) {
+		t.Errorf("115nm coupling cap %v not between anchors", mid.CapCoupling)
+	}
+	if mid.Name != "0.12um" {
+		t.Errorf("name = %q", mid.Name)
+	}
+}
+
+func TestInterpolateRange(t *testing.T) {
+	if _, err := Interpolate(140); err == nil {
+		t.Error("140nm accepted")
+	}
+	if _, err := Interpolate(65); err == nil {
+		t.Error("65nm accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package wire
+
+import "math"
+
+// Kind selects between the bare wire and the uniformly repeated wire of
+// the paper's Figure 4.
+type Kind int
+
+const (
+	// Unbuffered is a bare distributed-RC wire (quadratic delay).
+	Unbuffered Kind = iota
+	// Buffered is a uniformly repeated wire behind a driver cascade
+	// (linear delay, higher capacitance).
+	Buffered
+)
+
+// String returns the paper's label for the wire kind.
+func (k Kind) String() string {
+	if k == Buffered {
+		return "With repeaters"
+	}
+	return "Unbuffered wire"
+}
+
+// EffectiveLambda returns the effective Λ = C_I / C_S ratio of Table 1:
+// the repeaters' input and junction capacitance adds to the
+// wire-to-substrate term, so buffered wires see a far smaller Λ.
+func (t Technology) EffectiveLambda(k Kind) float64 {
+	return t.CapCoupling / t.selfCapPerMM(k)
+}
+
+// selfCapPerMM is the wire's capacitance to ground per mm, including the
+// amortized repeater loading for buffered wires.
+func (t Technology) selfCapPerMM(k Kind) float64 {
+	c := t.CapSubstrate
+	if k == Buffered {
+		c += t.CapRepeater
+	}
+	return c
+}
+
+// EnergyPerTransitionPJ returns the energy in pJ expended by a single
+// charge or discharge of one wire of the given length (mm) against its
+// self capacitance only (E = ½·C_S·V²). Coupling energy is accounted
+// separately via the Λ-weighted coupling event count.
+func (t Technology) EnergyPerTransitionPJ(k Kind, lengthMM float64) float64 {
+	return 0.5 * t.selfCapPerMM(k) * lengthMM * t.Vdd * t.Vdd
+}
+
+// EnergyPerCouplingEventPJ returns the energy in pJ of one coupling event
+// (one unit of ψ_n, i.e. the coupling capacitor to one neighbour swinging
+// by Vdd) for a wire pair of the given length.
+func (t Technology) EnergyPerCouplingEventPJ(lengthMM float64) float64 {
+	return 0.5 * t.CapCoupling * lengthMM * t.Vdd * t.Vdd
+}
+
+// SingleTransitionEnergyPJ returns the total energy of one wire of the
+// given length toggling once while both neighbours stay quiet — the
+// quantity plotted in the paper's Figure 5. It equals the self-capacitance
+// energy plus two coupling events:
+//
+//	E = ½·C_self·L·V² · (1 + 2Λ_eff)
+func (t Technology) SingleTransitionEnergyPJ(k Kind, lengthMM float64) float64 {
+	return t.EnergyPerTransitionPJ(k, lengthMM) + 2*t.EnergyPerCouplingEventPJ(lengthMM)
+}
+
+// TraceEnergyPJ returns the wire energy in pJ of a bus trace whose
+// Λ-weighted activity was measured by a bus meter: transitions is Σλ_n,
+// couplings is Σψ_n (equation 1 of the paper, with the proportionality
+// constant made explicit).
+func (t Technology) TraceEnergyPJ(k Kind, lengthMM float64, transitions, couplings uint64) float64 {
+	return t.EnergyPerTransitionPJ(k, lengthMM)*float64(transitions) +
+		t.EnergyPerCouplingEventPJ(lengthMM)*float64(couplings)
+}
+
+// WeightedCostEnergyPJ converts a Λ-weighted activity cost
+// (Σλ + Λ_eff·Σψ, as produced by bus.Meter.Cost with this technology's
+// effective Λ) into pJ for the given wire kind and length.
+func (t Technology) WeightedCostEnergyPJ(k Kind, lengthMM, cost float64) float64 {
+	return t.EnergyPerTransitionPJ(k, lengthMM) * cost
+}
+
+// RepeaterCount returns the number of uniformly spaced repeaters inserted
+// along a buffered wire of the given length (at least one for any positive
+// length, per the paper's repeated-line model).
+func (t Technology) RepeaterCount(lengthMM float64) int {
+	if lengthMM <= 0 {
+		return 0
+	}
+	n := int(math.Round(lengthMM / t.RepeaterPitchMM))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// DelayPS returns the propagation delay in ps of a wire of the given
+// length: linear for the repeated line (after the fixed driver-cascade
+// delay), quadratic in length for the bare distributed-RC wire.
+func (t Technology) DelayPS(k Kind, lengthMM float64) float64 {
+	if lengthMM <= 0 {
+		return 0
+	}
+	if k == Buffered {
+		return t.CascadeDelayPS + t.BufferedDelayPSPerMM*lengthMM
+	}
+	return t.UnbufferedDelayPSPerMM2 * lengthMM * lengthMM
+}
+
+// Point is one sample of a length sweep.
+type Point struct {
+	LengthMM float64
+	Value    float64
+}
+
+// EnergyCurve samples SingleTransitionEnergyPJ over [fromMM, toMM] with the
+// given step, reproducing one series of the paper's Figure 5.
+func (t Technology) EnergyCurve(k Kind, fromMM, toMM, stepMM float64) []Point {
+	return sweep(fromMM, toMM, stepMM, func(l float64) float64 {
+		return t.SingleTransitionEnergyPJ(k, l)
+	})
+}
+
+// DelayCurve samples DelayPS over [fromMM, toMM] with the given step,
+// reproducing one series of the paper's Figure 6.
+func (t Technology) DelayCurve(k Kind, fromMM, toMM, stepMM float64) []Point {
+	return sweep(fromMM, toMM, stepMM, func(l float64) float64 {
+		return t.DelayPS(k, l)
+	})
+}
+
+func sweep(from, to, step float64, f func(float64) float64) []Point {
+	if step <= 0 || to < from {
+		return nil
+	}
+	var pts []Point
+	for l := from; l <= to+1e-9; l += step {
+		pts = append(pts, Point{LengthMM: l, Value: f(l)})
+	}
+	return pts
+}

@@ -1,0 +1,130 @@
+// Package wire models long on-chip interconnect for the three process
+// technologies the paper studies (0.13µm, 0.10µm and 0.07µm): wire
+// capacitance to substrate and to adjacent wires, Bakoglu-style uniform
+// repeater insertion, and the resulting energy-per-transition and delay as
+// functions of wire length.
+//
+// The paper derived these values from HSPICE runs over ST Micro 0.13µm
+// models and the Berkeley Predictive Technology Model (BPTM); neither is
+// available here, so this package substitutes a first-order analytic model
+// whose constants are anchored to the paper's published measurements:
+//
+//   - Table 1 (effective Λ per technology, buffered and unbuffered),
+//   - Figure 5 (wire energy vs length, all technologies in the 0–6 pJ band
+//     at 30mm, buffered above unbuffered),
+//   - Figure 6 (buffered delay linear in length, unbuffered quadratic),
+//   - Table 2 (supply voltage and cycle time per technology).
+//
+// Downstream analyses (energy budget, crossover lengths) consume only the
+// per-mm transition energy, the effective Λ, and the per-cycle transcoder
+// energy, so anchoring these constants preserves the paper's break-even
+// structure.
+package wire
+
+import "fmt"
+
+// Technology describes one process node.
+type Technology struct {
+	// Name is the display name, e.g. "0.13um".
+	Name string
+	// FeatureNM is the minimum feature size in nanometres.
+	FeatureNM int
+	// Vdd is the supply voltage in volts (ITRS projection, Table 2).
+	Vdd float64
+
+	// CapSubstrate is the bare wire-to-substrate capacitance C_S in pF/mm
+	// for a minimum-pitch intermediate-layer wire.
+	CapSubstrate float64
+	// CapCoupling is the inter-wire capacitance C_I in pF/mm to one
+	// adjacent neighbour at minimum pitch.
+	CapCoupling float64
+	// CapRepeater is the capacitance added per mm by uniformly inserted
+	// repeaters (input gate + drain junction), amortized over the line.
+	CapRepeater float64
+
+	// RepeaterPitchMM is the optimal spacing between repeaters in mm
+	// (Bakoglu first-order optimum for the node).
+	RepeaterPitchMM float64
+	// RepeaterSizeX is the repeater width in multiples of a minimum-size
+	// inverter (the paper reports 40–50x).
+	RepeaterSizeX float64
+
+	// BufferedDelayPSPerMM is the propagation delay of the repeated line
+	// in ps/mm (linear regime).
+	BufferedDelayPSPerMM float64
+	// CascadeDelayPS is the fixed delay of the exponential driver cascade
+	// at the sending end in ps.
+	CascadeDelayPS float64
+	// UnbufferedDelayPSPerMM2 is the coefficient of the quadratic
+	// distributed-RC delay of the bare wire in ps/mm².
+	UnbufferedDelayPSPerMM2 float64
+
+	// CycleTimeNS is the bus clock period in ns (Table 2).
+	CycleTimeNS float64
+}
+
+// Standard process nodes studied by the paper. Capacitance values are
+// chosen so that the effective Λ of Table 1 and the energy band of Figure 5
+// are reproduced; see the package comment.
+var (
+	// Tech130 models the ST Micro 0.13µm process of the paper's layout.
+	Tech130 = Technology{
+		Name:                    "0.13um",
+		FeatureNM:               130,
+		Vdd:                     1.2,
+		CapSubstrate:            0.00521,
+		CapCoupling:             0.0730,
+		CapRepeater:             0.1038,
+		RepeaterPitchMM:         3.0,
+		RepeaterSizeX:           48,
+		BufferedDelayPSPerMM:    62,
+		CascadeDelayPS:          130,
+		UnbufferedDelayPSPerMM2: 3.9,
+		CycleTimeNS:             4.0,
+	}
+	// Tech100 models the BPTM 0.10µm projection.
+	Tech100 = Technology{
+		Name:                    "0.10um",
+		FeatureNM:               100,
+		Vdd:                     1.1,
+		CapSubstrate:            0.00512,
+		CapCoupling:             0.0850,
+		CapRepeater:             0.1424,
+		RepeaterPitchMM:         2.5,
+		RepeaterSizeX:           45,
+		BufferedDelayPSPerMM:    55,
+		CascadeDelayPS:          110,
+		UnbufferedDelayPSPerMM2: 4.4,
+		CycleTimeNS:             3.2,
+	}
+	// Tech070 models the BPTM 0.07µm projection.
+	Tech070 = Technology{
+		Name:                    "0.07um",
+		FeatureNM:               70,
+		Vdd:                     0.9,
+		CapSubstrate:            0.00897,
+		CapCoupling:             0.1300,
+		CapRepeater:             0.2110,
+		RepeaterPitchMM:         2.0,
+		RepeaterSizeX:           42,
+		BufferedDelayPSPerMM:    48,
+		CascadeDelayPS:          90,
+		UnbufferedDelayPSPerMM2: 5.0,
+		CycleTimeNS:             2.7,
+	}
+)
+
+// Technologies lists the standard nodes in shrinking order.
+func Technologies() []Technology {
+	return []Technology{Tech130, Tech100, Tech070}
+}
+
+// ByName returns the standard technology with the given name.
+func ByName(name string) (Technology, error) {
+	for _, t := range Technologies() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Technology{}, fmt.Errorf("wire: unknown technology %q", name)
+}

@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+// Table 1 of the paper gives the effective Λ the model must reproduce.
+func TestEffectiveLambdaMatchesTable1(t *testing.T) {
+	cases := []struct {
+		tech       Technology
+		kind       Kind
+		wantLambda float64
+	}{
+		{Tech130, Unbuffered, 14.0},
+		{Tech130, Buffered, 0.670},
+		{Tech100, Unbuffered, 16.6},
+		{Tech100, Buffered, 0.576},
+		{Tech070, Unbuffered, 14.5},
+		{Tech070, Buffered, 0.591},
+	}
+	for _, c := range cases {
+		got := c.tech.EffectiveLambda(c.kind)
+		if math.Abs(got-c.wantLambda)/c.wantLambda > 0.01 {
+			t.Errorf("%s %s: Λ = %.4f, want %.3f (±1%%)", c.tech.Name, c.kind, got, c.wantLambda)
+		}
+	}
+}
+
+// Figure 5: all technologies' buffered 30mm single-transition energies lie
+// in the paper's 0-6 pJ band, and buffered wires cost more than bare ones.
+func TestSingleTransitionEnergyBand(t *testing.T) {
+	for _, tech := range Technologies() {
+		buf := tech.SingleTransitionEnergyPJ(Buffered, 30)
+		raw := tech.SingleTransitionEnergyPJ(Unbuffered, 30)
+		if buf < 3 || buf > 6 {
+			t.Errorf("%s buffered 30mm energy %.2f pJ outside Figure 5 band [3, 6]", tech.Name, buf)
+		}
+		if raw >= buf {
+			t.Errorf("%s: unbuffered energy %.2f >= buffered %.2f; repeaters must add energy", tech.Name, raw, buf)
+		}
+	}
+}
+
+func TestEnergyLinearInLength(t *testing.T) {
+	for _, tech := range Technologies() {
+		for _, k := range []Kind{Buffered, Unbuffered} {
+			e10 := tech.SingleTransitionEnergyPJ(k, 10)
+			e20 := tech.SingleTransitionEnergyPJ(k, 20)
+			if math.Abs(e20-2*e10) > 1e-9 {
+				t.Errorf("%s %s: energy not linear in length (%v vs 2*%v)", tech.Name, k, e20, e10)
+			}
+		}
+	}
+}
+
+func TestDelayShapes(t *testing.T) {
+	for _, tech := range Technologies() {
+		// Buffered: linear. Subtracting the cascade, delay(20)/delay(10) == 2.
+		d10 := tech.DelayPS(Buffered, 10) - tech.CascadeDelayPS
+		d20 := tech.DelayPS(Buffered, 20) - tech.CascadeDelayPS
+		if math.Abs(d20-2*d10) > 1e-9 {
+			t.Errorf("%s: buffered delay not linear", tech.Name)
+		}
+		// Unbuffered: quadratic.
+		u10 := tech.DelayPS(Unbuffered, 10)
+		u20 := tech.DelayPS(Unbuffered, 20)
+		if math.Abs(u20-4*u10) > 1e-9 {
+			t.Errorf("%s: unbuffered delay not quadratic", tech.Name)
+		}
+	}
+}
+
+// Figure 6: beyond moderate lengths the bare wire is slower than the
+// repeated wire — the reason repeaters exist.
+func TestRepeatersWinAtLength(t *testing.T) {
+	for _, tech := range Technologies() {
+		if tech.DelayPS(Unbuffered, 30) <= tech.DelayPS(Buffered, 30) {
+			t.Errorf("%s: unbuffered wire should be slower at 30mm", tech.Name)
+		}
+	}
+}
+
+func TestRepeaterCount(t *testing.T) {
+	if got := Tech130.RepeaterCount(0); got != 0 {
+		t.Errorf("zero-length wire should have no repeaters, got %d", got)
+	}
+	if got := Tech130.RepeaterCount(1); got != 1 {
+		t.Errorf("short wire should still get one repeater, got %d", got)
+	}
+	if got := Tech130.RepeaterCount(30); got != 10 {
+		t.Errorf("30mm at 3mm pitch should have 10 repeaters, got %d", got)
+	}
+	// Shrinking technology packs repeaters more densely.
+	if Tech070.RepeaterCount(30) <= Tech130.RepeaterCount(30) {
+		t.Error("smaller technology should need more repeaters for the same length")
+	}
+}
+
+func TestTraceEnergyComposition(t *testing.T) {
+	tech := Tech130
+	const length = 10.0
+	// 100 transitions and 50 coupling events must decompose linearly.
+	got := tech.TraceEnergyPJ(Buffered, length, 100, 50)
+	want := 100*tech.EnergyPerTransitionPJ(Buffered, length) +
+		50*tech.EnergyPerCouplingEventPJ(length)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("TraceEnergyPJ = %v, want %v", got, want)
+	}
+}
+
+func TestWeightedCostEnergyConsistency(t *testing.T) {
+	// Energy computed from (transitions, couplings) must equal energy
+	// computed from the Λ-weighted cost when using the effective Λ.
+	tech := Tech100
+	const length = 15.0
+	lam := tech.EffectiveLambda(Buffered)
+	transitions, couplings := uint64(1000), uint64(400)
+	cost := float64(transitions) + lam*float64(couplings)
+	a := tech.TraceEnergyPJ(Buffered, length, transitions, couplings)
+	b := tech.WeightedCostEnergyPJ(Buffered, length, cost)
+	if math.Abs(a-b)/a > 1e-12 {
+		t.Errorf("inconsistent energy accounting: %v vs %v", a, b)
+	}
+}
+
+func TestByName(t *testing.T) {
+	tech, err := ByName("0.10um")
+	if err != nil || tech.FeatureNM != 100 {
+		t.Errorf("ByName(0.10um) = %v, %v", tech.Name, err)
+	}
+	if _, err := ByName("45nm"); err == nil {
+		t.Error("ByName should reject unknown technologies")
+	}
+}
+
+func TestCurves(t *testing.T) {
+	pts := Tech130.EnergyCurve(Buffered, 5, 30, 5)
+	if len(pts) != 6 {
+		t.Fatalf("expected 6 points, got %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value <= pts[i-1].Value {
+			t.Error("energy curve must increase with length")
+		}
+	}
+	dts := Tech130.DelayCurve(Unbuffered, 5, 30, 5)
+	for i := 1; i < len(dts); i++ {
+		if dts[i].Value <= dts[i-1].Value {
+			t.Error("delay curve must increase with length")
+		}
+	}
+	if sweep(10, 5, 1, func(float64) float64 { return 0 }) != nil {
+		t.Error("inverted sweep range should return nil")
+	}
+	if sweep(0, 5, 0, func(float64) float64 { return 0 }) != nil {
+		t.Error("zero step should return nil")
+	}
+}
+
+func TestVoltageAndCycleTimeMatchTable2(t *testing.T) {
+	cases := []struct {
+		tech  Technology
+		vdd   float64
+		cycle float64
+	}{
+		{Tech130, 1.2, 4.0},
+		{Tech100, 1.1, 3.2},
+		{Tech070, 0.9, 2.7},
+	}
+	for _, c := range cases {
+		if c.tech.Vdd != c.vdd {
+			t.Errorf("%s: Vdd = %v, want %v", c.tech.Name, c.tech.Vdd, c.vdd)
+		}
+		if c.tech.CycleTimeNS != c.cycle {
+			t.Errorf("%s: cycle = %v, want %v", c.tech.Name, c.tech.CycleTimeNS, c.cycle)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"buspower/internal/cpu"
+)
+
+// TraceSet is the bus traffic extracted from one workload run.
+type TraceSet struct {
+	// Workload names the benchmark.
+	Workload string
+	// Reg is the integer register-file output port value stream.
+	Reg []uint64
+	// Mem is the memory data bus value stream.
+	Mem []uint64
+	// Addr is the memory address bus stream (one address per Mem beat).
+	Addr []uint64
+	// Summary carries the timing model's run statistics.
+	Summary cpu.BusTraces
+}
+
+// RunConfig bounds a trace-collection run.
+type RunConfig struct {
+	// MaxInstructions caps the simulated dynamic instruction count.
+	MaxInstructions uint64
+	// MaxBusValues caps each captured bus trace length (0 = unlimited).
+	MaxBusValues int
+}
+
+// DefaultRunConfig is what the experiments use: enough instructions for
+// trace statistics to stabilize while keeping full-suite sweeps fast.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{MaxInstructions: 1_500_000, MaxBusValues: 120_000}
+}
+
+// Run executes the workload under the out-of-order timing model and
+// captures its bus traffic.
+func Run(w Workload, cfg RunConfig) (TraceSet, error) {
+	p, err := w.Program()
+	if err != nil {
+		return TraceSet{}, err
+	}
+	sim, err := cpu.NewSimulator(p, cpu.DefaultConfig())
+	if err != nil {
+		return TraceSet{}, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	tr := sim.Run(cfg.MaxInstructions, cfg.MaxBusValues)
+	if len(tr.RegisterBus) == 0 {
+		return TraceSet{}, fmt.Errorf("workload %s: produced no register bus traffic", w.Name)
+	}
+	return TraceSet{Workload: w.Name, Reg: tr.RegisterBus, Mem: tr.MemoryBus, Addr: tr.MemoryAddrBus, Summary: tr}, nil
+}
+
+type cacheKey struct {
+	name string
+	cfg  RunConfig
+}
+
+var (
+	cacheMu    sync.Mutex
+	traceCache = map[cacheKey]TraceSet{}
+)
+
+// Traces returns the workload's bus traces, memoized per (workload,
+// config) so the many figure sweeps sharing a trace do not re-simulate.
+func Traces(name string, cfg RunConfig) (TraceSet, error) {
+	key := cacheKey{name, cfg}
+	cacheMu.Lock()
+	ts, ok := traceCache[key]
+	cacheMu.Unlock()
+	if ok {
+		return ts, nil
+	}
+	w, err := ByName(name)
+	if err != nil {
+		return TraceSet{}, err
+	}
+	ts, err = Run(w, cfg)
+	if err != nil {
+		return TraceSet{}, err
+	}
+	cacheMu.Lock()
+	traceCache[key] = ts
+	cacheMu.Unlock()
+	return ts, nil
+}
+
+// ClearTraceCache drops all memoized traces (for tests and tools that
+// sweep many configurations).
+func ClearTraceCache() {
+	cacheMu.Lock()
+	traceCache = map[cacheKey]TraceSet{}
+	cacheMu.Unlock()
+}

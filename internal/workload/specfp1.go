@@ -1,0 +1,465 @@
+package workload
+
+// SPECfp95 analogs, part 1: stencil and lattice kernels over float32
+// arrays. The register bus sees their strided address arithmetic; the
+// memory bus sees float bit patterns with smooth-value locality.
+
+func init() {
+	register(Workload{
+		Name:        "swim",
+		Suite:       SPECfp,
+		Description: "shallow-water equations: alternating 5-point stencil sweeps over 64x64 grids with a forcing term (unit-stride FP loads, row-stride neighbours)",
+		Source: `
+	.data
+u:	.space 16384            # 64x64 float32
+v:	.space 16384
+un:	.space 16384
+	.text
+	# constants: f20 = 0.25, f21 = 0.1
+	li   r3, 1
+	fcvt.s.w f20, r3
+	li   r3, 4
+	fcvt.s.w f1, r3
+	fdiv f20, f20, f1
+	li   r3, 1
+	fcvt.s.w f21, r3
+	li   r3, 10
+	fcvt.s.w f1, r3
+	fdiv f21, f21, f1
+	# initialize u and v with smooth pseudo-random values
+	li   r1, 123
+	li   r2, 16807
+	li   r3, 1000
+	fcvt.s.w f10, r3
+	la   r11, u
+	li   r13, 8192          # fill u and v contiguously (they are adjacent)
+init:
+	mul  r1, r1, r2
+	addi r1, r1, 7
+	srli r4, r1, 16
+	andi r4, r4, 1023
+	fcvt.s.w f1, r4
+	fdiv f1, f1, f10
+	fsw  f1, 0(r11)
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, init
+	li   r26, 20
+outer:
+	la   r25, u             # src
+	la   r27, un            # dst
+	call sweep
+	la   r25, un            # and back
+	la   r27, u
+	call sweep
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+sweep:                          # dst = 0.25*laplacian(src) + 0.1*v
+	addi r11, r25, 260      # (1,1)
+	addi r12, r27, 260
+	la   r14, v
+	addi r14, r14, 260
+	li   r21, 62
+srow:
+	li   r22, 62
+scol:
+	flw  f1, -4(r11)
+	flw  f2, 4(r11)
+	flw  f3, -256(r11)
+	flw  f4, 256(r11)
+	fadd f1, f1, f2
+	fadd f3, f3, f4
+	fadd f1, f1, f3
+	fmul f1, f1, f20
+	flw  f5, 0(r14)
+	fmul f5, f5, f21
+	fadd f1, f1, f5
+	fsw  f1, 0(r12)
+	addi r11, r11, 4
+	addi r12, r12, 4
+	addi r14, r14, 4
+	addi r22, r22, -1
+	bnez r22, scol
+	addi r11, r11, 8
+	addi r12, r12, 8
+	addi r14, r14, 8
+	addi r21, r21, -1
+	bnez r21, srow
+	ret
+`,
+	})
+
+	register(Workload{
+		Name:        "tomcatv",
+		Suite:       SPECfp,
+		Description: "vectorized mesh generation: 9-point stencil with diagonal neighbours over two coupled 64x64 grids plus residual accumulation",
+		Source: `
+	.data
+x:	.space 16384
+y:	.space 16384
+rx:	.space 16384
+	.text
+	li   r3, 1
+	fcvt.s.w f20, r3
+	li   r3, 8
+	fcvt.s.w f1, r3
+	fdiv f20, f20, f1       # 0.125
+	li   r1, 31
+	li   r2, 24693
+	li   r3, 500
+	fcvt.s.w f10, r3
+	la   r11, x
+	li   r13, 8192          # x and y contiguous
+init:
+	mul  r1, r1, r2
+	addi r1, r1, 13
+	srli r4, r1, 15
+	andi r4, r4, 511
+	fcvt.s.w f1, r4
+	fdiv f1, f1, f10
+	fsw  f1, 0(r11)
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, init
+	li   r26, 25
+outer:
+	la   r11, x
+	la   r14, y
+	la   r12, rx
+	addi r11, r11, 260
+	addi r14, r14, 260
+	addi r12, r12, 260
+	li   r21, 62
+trow:
+	li   r22, 62
+tcol:
+	flw  f1, -4(r11)        # west
+	flw  f2, 4(r11)         # east
+	flw  f3, -256(r11)      # north
+	flw  f4, 256(r11)       # south
+	flw  f5, -260(r11)      # nw
+	flw  f6, -252(r11)      # ne
+	flw  f7, 252(r11)       # sw
+	flw  f8, 260(r11)       # se
+	fadd f1, f1, f2
+	fadd f3, f3, f4
+	fadd f5, f5, f6
+	fadd f7, f7, f8
+	fadd f1, f1, f3
+	fadd f5, f5, f7
+	fadd f1, f1, f5
+	fmul f1, f1, f20        # average of 8 neighbours
+	flw  f9, 0(r14)
+	fadd f9, f9, f1         # couple with y
+	fsw  f9, 0(r12)         # residual grid
+	flw  f2, 0(r11)
+	fsub f2, f2, f1
+	fabs f2, f2
+	fadd f30, f30, f2       # residual norm accumulator
+	addi r11, r11, 4
+	addi r14, r14, 4
+	addi r12, r12, 4
+	addi r22, r22, -1
+	bnez r22, tcol
+	addi r11, r11, 8
+	addi r14, r14, 8
+	addi r12, r12, 8
+	addi r21, r21, -1
+	bnez r21, trow
+	# feed the residual grid back into x
+	la   r11, rx
+	la   r12, x
+	li   r13, 4096
+tcopy:
+	flw  f1, 0(r11)
+	fsw  f1, 0(r12)
+	addi r11, r11, 4
+	addi r12, r12, 4
+	addi r13, r13, -1
+	bnez r13, tcopy
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+
+	register(Workload{
+		Name:        "su2cor",
+		Suite:       SPECfp,
+		Description: "quantum chromodynamics: 2x2 complex matrix times 2-spinor products over a lattice (gather with link strides, dense FP multiply-add)",
+		Source: `
+	.data
+psi:	.space 16384            # 1024 sites x 4 floats (re0,im0,re1,im1)
+chi:	.space 16384
+	.text
+	# fixed gauge-link matrix entries in f16..f23 (a 2x2 complex matrix)
+	li   r3, 3
+	fcvt.s.w f16, r3
+	li   r3, 5
+	fcvt.s.w f1, r3
+	fdiv f16, f16, f1       # 0.6
+	li   r3, 4
+	fcvt.s.w f17, r3
+	fdiv f17, f17, f1       # 0.8
+	fneg f18, f17           # -0.8
+	fmov f19, f16
+	li   r1, 71
+	li   r2, 19997
+	li   r3, 400
+	fcvt.s.w f10, r3
+	la   r11, psi
+	li   r13, 4096
+init:
+	mul  r1, r1, r2
+	addi r1, r1, 29
+	srli r4, r1, 14
+	andi r4, r4, 255
+	fcvt.s.w f1, r4
+	fdiv f1, f1, f10
+	fsw  f1, 0(r11)
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, init
+	li   r26, 60
+outer:
+	la   r11, psi
+	la   r12, chi
+	li   r13, 1008          # sites (leave one link stride of headroom)
+site:
+	flw  f1, 0(r11)         # psi at this site
+	flw  f2, 4(r11)
+	flw  f3, 64(r11)        # neighbour site (link stride 16 sites)
+	flw  f4, 68(r11)
+	# chi0 = m00*psi0 + m01*psi1
+	fmul f5, f16, f1
+	fmul f6, f17, f3
+	fadd f5, f5, f6
+	# chi1 = m10*psi0 + m11*psi1
+	fmul f7, f18, f2
+	fmul f8, f19, f4
+	fadd f7, f7, f8
+	fsw  f5, 0(r12)
+	fsw  f7, 4(r12)
+	# second spinor component uses the conjugate
+	fmul f5, f16, f2
+	fmul f6, f18, f4
+	fadd f5, f5, f6
+	fmul f7, f17, f1
+	fmul f8, f19, f3
+	fadd f7, f7, f8
+	fsw  f5, 8(r12)
+	fsw  f7, 12(r12)
+	addi r11, r11, 16
+	addi r12, r12, 16
+	addi r13, r13, -1
+	bnez r13, site
+	# swap chi back into psi for the next sweep
+	la   r11, chi
+	la   r12, psi
+	li   r13, 4096
+sswap:
+	flw  f1, 0(r11)
+	fsw  f1, 0(r12)
+	addi r11, r11, 4
+	addi r12, r12, 4
+	addi r13, r13, -1
+	bnez r13, sswap
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+
+	register(Workload{
+		Name:        "hydro2d",
+		Suite:       SPECfp,
+		Description: "astrophysical hydrodynamics: flux computation with a minmod slope limiter over 1D strips (fabs/fmin heavy, neighbouring differences)",
+		Source: `
+	.data
+q:	.space 16384            # state
+fl:	.space 16384            # fluxes
+	.text
+	li   r3, 1
+	fcvt.s.w f20, r3
+	li   r3, 2
+	fcvt.s.w f21, r3
+	fdiv f22, f20, f21      # 0.5
+	li   r1, 55
+	li   r2, 17041
+	li   r3, 300
+	fcvt.s.w f10, r3
+	la   r11, q
+	li   r13, 4096
+init:
+	mul  r1, r1, r2
+	addi r1, r1, 17
+	srli r4, r1, 12
+	andi r4, r4, 511
+	fcvt.s.w f1, r4
+	fdiv f1, f1, f10
+	fsw  f1, 0(r11)
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, init
+	li   r26, 55
+outer:
+	la   r11, q
+	la   r12, fl
+	addi r11, r11, 4
+	addi r12, r12, 4
+	li   r13, 4094
+cell:
+	flw  f1, -4(r11)
+	flw  f2, 0(r11)
+	flw  f3, 4(r11)
+	fsub f4, f2, f1         # left slope
+	fsub f5, f3, f2         # right slope
+	fabs f6, f4
+	fabs f7, f5
+	fmin f8, f6, f7         # minmod magnitude
+	# sign from the left slope: limiter = 0 if slopes oppose
+	fmul f9, f4, f5
+	flt  r4, f9, f0         # product < 0 -> opposing
+	beqz r4, sameSign
+	fsub f8, f8, f8         # zero
+sameSign:
+	fmul f8, f8, f22
+	fadd f9, f2, f8         # reconstructed edge value
+	fsw  f9, 0(r12)
+	addi r11, r11, 4
+	addi r12, r12, 4
+	addi r13, r13, -1
+	bnez r13, cell
+	# conservative update q -= d(flux)
+	la   r11, q
+	la   r12, fl
+	addi r11, r11, 8
+	addi r12, r12, 8
+	li   r13, 4090
+upd:
+	flw  f1, 0(r12)
+	flw  f2, -4(r12)
+	fsub f3, f1, f2
+	fmul f3, f3, f22
+	flw  f4, 0(r11)
+	fsub f4, f4, f3
+	fsw  f4, 0(r11)
+	addi r11, r11, 4
+	addi r12, r12, 4
+	addi r13, r13, -1
+	bnez r13, upd
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+
+	register(Workload{
+		Name:        "mgrid",
+		Suite:       SPECfp,
+		Description: "multigrid solver: 7-point 3D Laplacian smoothing over a 16^3 grid (plane/row/unit strides) with restriction to an 8^3 grid",
+		Source: `
+	.data
+u3:	.space 16384            # 16x16x16 float32
+r3d:	.space 16384
+c3:	.space 2048             # 8x8x8 coarse grid
+	.text
+	li   r3, 1
+	fcvt.s.w f20, r3
+	li   r3, 6
+	fcvt.s.w f1, r3
+	fdiv f20, f20, f1       # 1/6
+	li   r1, 17
+	li   r2, 30011
+	li   r3, 700
+	fcvt.s.w f10, r3
+	la   r11, u3
+	li   r13, 4096
+init:
+	mul  r1, r1, r2
+	addi r1, r1, 23
+	srli r4, r1, 13
+	andi r4, r4, 1023
+	fcvt.s.w f1, r4
+	fdiv f1, f1, f10
+	fsw  f1, 0(r11)
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, init
+	li   r26, 25
+outer:
+	# smooth: r = (sum of 6 neighbours) / 6 over the interior
+	la   r11, u3
+	la   r12, r3d
+	addi r11, r11, 1092     # (1,1,1): 1024+64+4
+	addi r12, r12, 1092
+	li   r21, 14            # planes
+mplane:
+	li   r22, 14            # rows
+mrow:
+	li   r23, 14            # cols
+mcol:
+	flw  f1, -4(r11)
+	flw  f2, 4(r11)
+	flw  f3, -64(r11)
+	flw  f4, 64(r11)
+	flw  f5, -1024(r11)
+	flw  f6, 1024(r11)
+	fadd f1, f1, f2
+	fadd f3, f3, f4
+	fadd f5, f5, f6
+	fadd f1, f1, f3
+	fadd f1, f1, f5
+	fmul f1, f1, f20
+	fsw  f1, 0(r12)
+	addi r11, r11, 4
+	addi r12, r12, 4
+	addi r23, r23, -1
+	bnez r23, mcol
+	addi r11, r11, 8        # skip boundary columns
+	addi r12, r12, 8
+	addi r22, r22, -1
+	bnez r22, mrow
+	addi r11, r11, 128      # skip boundary rows
+	addi r12, r12, 128
+	addi r21, r21, -1
+	bnez r21, mplane
+	# restrict r to the coarse grid (every other point)
+	la   r11, r3d
+	la   r12, c3
+	li   r21, 8
+cplane:
+	li   r22, 8
+crow:
+	li   r23, 8
+ccol:
+	flw  f1, 0(r11)
+	fsw  f1, 0(r12)
+	addi r11, r11, 8        # stride 2 in x
+	addi r12, r12, 4
+	addi r23, r23, -1
+	bnez r23, ccol
+	addi r11, r11, 64       # skip odd row
+	addi r22, r22, -1
+	bnez r22, crow
+	addi r11, r11, 1024     # skip odd plane
+	addi r21, r21, -1
+	bnez r21, cplane
+	# inject smoothed field back
+	la   r11, r3d
+	la   r12, u3
+	li   r13, 4096
+minj:
+	flw  f1, 0(r11)
+	fsw  f1, 0(r12)
+	addi r11, r11, 4
+	addi r12, r12, 4
+	addi r13, r13, -1
+	bnez r13, minj
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+}

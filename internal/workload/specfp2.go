@@ -1,0 +1,419 @@
+package workload
+
+// SPECfp95 analogs, part 2.
+
+func init() {
+	register(Workload{
+		Name:        "applu",
+		Suite:       SPECfp,
+		Description: "SSOR solver: forward and backward substitution sweeps with loop-carried dependences along two strides (serialized FP chains)",
+		Source: `
+	.data
+au:	.space 16384            # 64x64 float32 solution
+arhs:	.space 16384
+	.text
+	li   r3, 2
+	fcvt.s.w f1, r3
+	li   r3, 10
+	fcvt.s.w f2, r3
+	fdiv f21, f1, f2        # a = 0.2
+	li   r3, 3
+	fcvt.s.w f1, r3
+	fdiv f22, f1, f2        # b = 0.3
+	li   r3, 9
+	fcvt.s.w f1, r3
+	fdiv f23, f1, f2        # 1/d = 0.9
+	li   r1, 91
+	li   r2, 14221
+	li   r3, 600
+	fcvt.s.w f10, r3
+	la   r11, au
+	li   r13, 8192          # au and arhs contiguous
+init:
+	mul  r1, r1, r2
+	addi r1, r1, 31
+	srli r4, r1, 12
+	andi r4, r4, 511
+	fcvt.s.w f1, r4
+	fdiv f1, f1, f10
+	fsw  f1, 0(r11)
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, init
+	li   r26, 40
+outer:
+	# forward sweep: u[i] = (rhs[i] - a*u[i-1] - b*u[i-64]) * invd
+	la   r11, au
+	la   r12, arhs
+	addi r11, r11, 260
+	addi r12, r12, 260
+	li   r13, 3900
+fwd:
+	flw  f1, 0(r12)
+	flw  f2, -4(r11)
+	flw  f3, -256(r11)
+	fmul f2, f2, f21
+	fmul f3, f3, f22
+	fsub f1, f1, f2
+	fsub f1, f1, f3
+	fmul f1, f1, f23
+	fsw  f1, 0(r11)
+	addi r11, r11, 4
+	addi r12, r12, 4
+	addi r13, r13, -1
+	bnez r13, fwd
+	# backward sweep: u[i] = (u[i] - a*u[i+1] - b*u[i+64]) * invd
+	la   r11, au
+	addi r11, r11, 15860    # last interior element
+	li   r13, 3900
+bwd:
+	flw  f1, 0(r11)
+	flw  f2, 4(r11)
+	flw  f3, 256(r11)
+	fmul f2, f2, f21
+	fmul f3, f3, f22
+	fsub f1, f1, f2
+	fsub f1, f1, f3
+	fmul f1, f1, f23
+	fsw  f1, 0(r11)
+	addi r11, r11, -4
+	addi r13, r13, -1
+	bnez r13, bwd
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+
+	register(Workload{
+		Name:        "turb3d",
+		Suite:       SPECfp,
+		Description: "turbulence simulation: FFT-style butterfly passes with halving strides over a 1024-point float array (power-of-two strided access)",
+		Source: `
+	.data
+tb:	.space 4096             # 1024 float32
+	.text
+	li   r3, 7
+	fcvt.s.w f1, r3
+	li   r3, 10
+	fcvt.s.w f2, r3
+	fdiv f24, f1, f2        # twiddle 0.7
+	li   r1, 63
+	li   r2, 26003
+	li   r3, 800
+	fcvt.s.w f10, r3
+	la   r11, tb
+	li   r13, 1024
+init:
+	mul  r1, r1, r2
+	addi r1, r1, 41
+	srli r4, r1, 11
+	andi r4, r4, 1023
+	fcvt.s.w f1, r4
+	fdiv f1, f1, f10
+	fsw  f1, 0(r11)
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, init
+	li   r26, 120
+outer:
+	li   r21, 2048          # stride in bytes (512 floats)
+pass:
+	la   r11, tb
+	la   r17, tb
+	addi r17, r17, 4096     # end
+block:
+	mv   r22, r21           # bytes within the half-block
+inner:
+	add  r16, r11, r21
+	flw  f1, 0(r11)
+	flw  f2, 0(r16)
+	fadd f3, f1, f2
+	fsub f4, f1, f2
+	fmul f4, f4, f24
+	fsw  f3, 0(r11)
+	fsw  f4, 0(r16)
+	addi r11, r11, 4
+	addi r22, r22, -4
+	bnez r22, inner
+	add  r11, r11, r21      # skip the partner half
+	blt  r11, r17, block
+	srli r21, r21, 1
+	li   r18, 4
+	bge  r21, r18, pass
+	# renormalize so values stay bounded across outer iterations
+	la   r11, tb
+	li   r13, 1024
+	li   r3, 1000
+	fcvt.s.w f9, r3
+norm:
+	flw  f1, 0(r11)
+	fdiv f1, f1, f9
+	fsw  f1, 0(r11)
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, norm
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+
+	register(Workload{
+		Name:        "apsi",
+		Suite:       SPECfp,
+		Description: "mesoscale pollutant transport: cyclic-coefficient 4-tap convolutions over vertical columns (coefficient table reuse, unit stride)",
+		Source: `
+	.data
+aq:	.space 16384            # 4096 float32
+ao:	.space 16384
+coef:	.float 0.1, 0.2, 0.3, 0.4, 0.3, 0.2, 0.1, 0.05
+	.text
+	li   r1, 37
+	li   r2, 12289
+	li   r3, 900
+	fcvt.s.w f10, r3
+	la   r11, aq
+	li   r13, 4096
+init:
+	mul  r1, r1, r2
+	addi r1, r1, 53
+	srli r4, r1, 10
+	andi r4, r4, 1023
+	fcvt.s.w f1, r4
+	fdiv f1, f1, f10
+	fsw  f1, 0(r11)
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, init
+	li   r26, 70
+outer:
+	la   r11, aq
+	la   r12, ao
+	la   r14, coef
+	li   r15, 0             # coefficient phase
+	li   r13, 4090
+conv:
+	slli r4, r15, 2
+	add  r4, r14, r4
+	flw  f5, 0(r4)          # coef[phase]
+	flw  f6, 4(r4)
+	flw  f1, 0(r11)
+	flw  f2, 4(r11)
+	flw  f3, 8(r11)
+	flw  f4, 12(r11)
+	fmul f1, f1, f5
+	fmul f2, f2, f6
+	fmul f3, f3, f5
+	fmul f4, f4, f6
+	fadd f1, f1, f2
+	fadd f3, f3, f4
+	fadd f1, f1, f3
+	fsw  f1, 0(r12)
+	addi r15, r15, 1
+	andi r15, r15, 7        # wrap coefficient phase (table has 8 entries)
+	addi r11, r11, 4
+	addi r12, r12, 4
+	addi r13, r13, -1
+	bnez r13, conv
+	# copy back for the next pass
+	la   r11, ao
+	la   r12, aq
+	li   r13, 4096
+acopy:
+	flw  f1, 0(r11)
+	fsw  f1, 0(r12)
+	addi r11, r11, 4
+	addi r12, r12, 4
+	addi r13, r13, -1
+	bnez r13, acopy
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+
+	register(Workload{
+		Name:        "fpppp",
+		Suite:       SPECfp,
+		Description: "two-electron integral derivatives: very large straight-line FP expression blocks with few memory references per flop (register-resident chains)",
+		Source: `
+	.data
+fa:	.space 4096             # 1024 float32
+fb:	.space 4096
+	.text
+	li   r3, 3
+	fcvt.s.w f1, r3
+	li   r3, 7
+	fcvt.s.w f2, r3
+	fdiv f24, f1, f2        # 3/7
+	li   r3, 2
+	fcvt.s.w f1, r3
+	li   r3, 9
+	fcvt.s.w f2, r3
+	fdiv f25, f1, f2        # 2/9
+	li   r1, 83
+	li   r2, 22573
+	li   r3, 450
+	fcvt.s.w f10, r3
+	la   r11, fa
+	li   r13, 2048          # fa and fb contiguous
+init:
+	mul  r1, r1, r2
+	addi r1, r1, 67
+	srli r4, r1, 13
+	andi r4, r4, 511
+	fcvt.s.w f1, r4
+	fdiv f1, f1, f10
+	fsw  f1, 0(r11)
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, init
+	li   r26, 120
+outer:
+	la   r11, fa
+	la   r12, fb
+	li   r13, 1024
+	fsub f30, f30, f30      # accumulator = 0
+big:
+	flw  f1, 0(r11)
+	flw  f2, 0(r12)
+	# a long straight-line dependency web, 2 loads / 1 store / 22 flops
+	fmul f3, f1, f2
+	fadd f4, f3, f24
+	fmul f5, f4, f1
+	fsub f6, f5, f2
+	fmul f7, f6, f25
+	fadd f8, f7, f3
+	fmul f9, f8, f24
+	fsub f11, f9, f4
+	fmul f12, f11, f11
+	fadd f13, f12, f5
+	fmul f14, f13, f25
+	fsub f15, f14, f6
+	fadd f16, f15, f7
+	fmul f17, f16, f24
+	fadd f18, f17, f8
+	fsub f19, f18, f9
+	fmul f21, f19, f25
+	fadd f22, f21, f11
+	fmul f23, f22, f24
+	fadd f26, f23, f12
+	fmin f26, f26, f10      # keep bounded
+	fadd f30, f30, f26
+	fsw  f26, 0(r12)
+	addi r11, r11, 4
+	addi r12, r12, 4
+	addi r13, r13, -1
+	bnez r13, big
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+
+	register(Workload{
+		Name:        "wave5",
+		Suite:       SPECfp,
+		Description: "particle-in-cell plasma: field gather, damped velocity push, position wrap and charge deposit (indexed gather/scatter between particle and grid arrays)",
+		Source: `
+	.data
+pos:	.space 4096             # 1024 particles
+vel:	.space 4096
+field:	.space 1024             # 256 grid cells
+rho:	.space 1024
+	.text
+	li   r3, 256
+	fcvt.s.w f26, r3        # domain size
+	li   r3, 1
+	fcvt.s.w f20, r3
+	li   r3, 100
+	fcvt.s.w f1, r3
+	fdiv f23, f20, f1       # dt = 0.01
+	li   r3, 9
+	fcvt.s.w f1, r3
+	li   r3, 10
+	fcvt.s.w f2, r3
+	fdiv f27, f1, f2        # damping 0.9
+	# init particle positions in [0,256) and the field in [-0.5, 0.5)
+	li   r1, 29
+	li   r2, 18517
+	la   r11, pos
+	li   r13, 1024
+	li   r3, 16
+	fcvt.s.w f10, r3
+pinit:
+	mul  r1, r1, r2
+	addi r1, r1, 11
+	srli r4, r1, 12
+	andi r4, r4, 4095
+	fcvt.s.w f1, r4
+	fdiv f1, f1, f10        # 0..255.9
+	fsw  f1, 0(r11)
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, pinit
+	la   r11, field
+	li   r13, 256
+	li   r3, 1024
+	fcvt.s.w f10, r3
+	li   r3, 2
+	fcvt.s.w f11, r3
+	fdiv f12, f20, f11      # 0.5
+finit:
+	mul  r1, r1, r2
+	addi r1, r1, 19
+	srli r4, r1, 14
+	andi r4, r4, 1023
+	fcvt.s.w f1, r4
+	fdiv f1, f1, f10
+	fsub f1, f1, f12        # center around zero
+	fsw  f1, 0(r11)
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, finit
+	la   r14, field
+	la   r15, rho
+	li   r26, 120
+outer:
+	la   r11, pos
+	la   r12, vel
+	li   r13, 1024
+part:
+	flw  f1, 0(r11)
+	flw  f2, 0(r12)
+	fcvt.w.s r4, f1
+	andi r4, r4, 255
+	slli r4, r4, 2
+	add  r5, r14, r4
+	flw  f3, 0(r5)          # gather field at the particle
+	fmul f2, f2, f27        # damped push
+	fadd f2, f2, f3
+	fmul f5, f2, f23
+	fadd f1, f1, f5
+	# wrap position into [0, 256)
+	flt  r6, f1, f26
+	bnez r6, wrapLo
+	fsub f1, f1, f26
+wrapLo:
+	flt  r6, f1, f0
+	beqz r6, noWrap
+	fadd f1, f1, f26
+noWrap:
+	fsw  f1, 0(r11)
+	fsw  f2, 0(r12)
+	# deposit charge
+	add  r7, r15, r4
+	flw  f6, 0(r7)
+	fadd f6, f6, f23
+	fsw  f6, 0(r7)
+	addi r11, r11, 4
+	addi r12, r12, 4
+	addi r13, r13, -1
+	bnez r13, part
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+}

@@ -1,0 +1,443 @@
+package workload
+
+// SPECint95 analogs. Each kernel reproduces the bus-visible behaviour of
+// its namesake: compress's run-length byte streams, gcc's hash-table
+// probing, go's branchy board scans, ijpeg's integer transform
+// multiply-accumulates, li's cons-cell pointer chasing, m88ksim's
+// decode-dispatch interpretation, and perl's string scanning.
+
+func init() {
+	register(Workload{
+		Name:        "compress",
+		Suite:       SPECint,
+		Description: "run-length compression of a pseudo-random byte buffer with runs, plus decompression checksum (byte loads/stores, data-dependent branches)",
+		Source: `
+	.data
+src:	.space 4096
+dst:	.space 8200
+	.text
+	li   r26, 60            # outer iterations
+	li   r1, 12345          # LCG state
+outer:
+	# fill src with runs of random bytes
+	la   r11, src
+	li   r13, 4096
+	li   r2, 20077
+fill:
+	mul  r1, r1, r2
+	addi r1, r1, 12345
+	srli r3, r1, 16
+	andi r3, r3, 7
+	addi r3, r3, 1          # run length 1..8
+	srli r4, r1, 8
+	andi r4, r4, 255        # run byte
+frun:
+	beqz r13, fdone
+	sb   r4, 0(r11)
+	addi r11, r11, 1
+	addi r13, r13, -1
+	addi r3, r3, -1
+	bnez r3, frun
+	bnez r13, fill
+fdone:
+	# RLE-compress src into dst
+	la   r11, src
+	la   r12, dst
+	li   r13, 4095
+	lbu  r4, 0(r11)
+	addi r11, r11, 1
+	li   r5, 1              # run count
+comp:
+	beqz r13, cflush
+	lbu  r6, 0(r11)
+	addi r11, r11, 1
+	addi r13, r13, -1
+	beq  r6, r4, csame
+	sb   r5, 0(r12)
+	sb   r4, 1(r12)
+	addi r12, r12, 2
+	mv   r4, r6
+	li   r5, 1
+	j    comp
+csame:
+	addi r5, r5, 1
+	j    comp
+cflush:
+	sb   r5, 0(r12)
+	sb   r4, 1(r12)
+	addi r12, r12, 2
+	# checksum the compressed stream
+	la   r14, dst
+	li   r7, 0
+csum:
+	lbu  r8, 0(r14)
+	add  r7, r7, r8
+	addi r14, r14, 1
+	bne  r14, r12, csum
+	add  r28, r28, r7
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+
+	register(Workload{
+		Name:        "gcc",
+		Suite:       SPECint,
+		Description: "symbol-table construction: hashing a token stream into an open-addressed table with linear probing (irregular loads, hot table entries)",
+		Source: `
+	.data
+table:	.space 16384            # 2048 entries of (key, count)
+	.text
+	li   r26, 30
+	li   r1, 777
+outer:
+	li   r13, 6000          # tokens per pass
+	li   r2, 20021
+tok:
+	mul  r1, r1, r2
+	addi r1, r1, 11213
+	srli r3, r1, 10
+	andi r3, r3, 1023       # token id
+	addi r9, r3, 1          # stored key (0 marks empty)
+	li   r4, 97
+	mul  r4, r3, r4
+	andi r4, r4, 2047       # hash bucket
+	la   r5, table
+probe:
+	slli r6, r4, 3
+	add  r6, r5, r6
+	lw   r7, 0(r6)
+	beqz r7, insert
+	beq  r7, r9, hit
+	addi r4, r4, 1
+	andi r4, r4, 2047
+	j    probe
+insert:
+	sw   r9, 0(r6)
+hit:
+	lw   r8, 4(r6)
+	addi r8, r8, 1
+	sw   r8, 4(r6)
+	addi r13, r13, -1
+	bnez r13, tok
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+
+	register(Workload{
+		Name:        "go",
+		Suite:       SPECint,
+		Description: "board-position evaluation: repeated neighbourhood scans over a 19x19 byte board with data-dependent updates (branchy, byte traffic)",
+		Source: `
+	.data
+board:	.space 400              # 19x19 plus padding
+	.text
+	li   r26, 400
+	li   r1, 999
+	# initialize the board with stones in {0,1,2}
+	la   r11, board
+	li   r13, 361
+	li   r2, 31337
+	li   r4, 3
+init:
+	mul  r1, r1, r2
+	addi r1, r1, 7
+	srli r3, r1, 9
+	rem  r3, r3, r4
+	sb   r3, 0(r11)
+	addi r11, r11, 1
+	addi r13, r13, -1
+	bnez r13, init
+outer:
+	la   r11, board
+	addi r11, r11, 20       # first interior point
+	li   r13, 323
+scan:
+	lbu  r3, 0(r11)
+	lbu  r4, -1(r11)
+	lbu  r5, 1(r11)
+	lbu  r6, -19(r11)
+	lbu  r7, 19(r11)
+	add  r8, r4, r5
+	add  r8, r8, r6
+	add  r8, r8, r7
+	slti r9, r8, 5
+	bnez r9, noflip
+	bnez r3, noflip
+	li   r10, 1
+	sb   r10, 0(r11)
+noflip:
+	add  r28, r28, r8
+	addi r11, r11, 1
+	addi r13, r13, -1
+	bnez r13, scan
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+
+	register(Workload{
+		Name:        "ijpeg",
+		Suite:       SPECint,
+		Description: "integer 8-point transform over image rows: butterfly sums/differences scaled by fixed-point constants (multiply-accumulate, strided word stores)",
+		Source: `
+	.data
+img:	.space 4096             # 64x64 bytes
+out:	.space 16384            # 64x64 words
+	.text
+	li   r26, 120
+	li   r1, 4242
+	# fill image with LCG bytes
+	la   r11, img
+	li   r13, 4096
+	li   r2, 16807
+imginit:
+	mul  r1, r1, r2
+	addi r1, r1, 3
+	srli r3, r1, 11
+	sb   r3, 0(r11)
+	addi r11, r11, 1
+	addi r13, r13, -1
+	bnez r13, imginit
+outer:
+	la   r11, img
+	la   r12, out
+	li   r13, 512           # rows of 8 pixels
+row:
+	lbu  r3, 0(r11)
+	lbu  r4, 1(r11)
+	lbu  r5, 2(r11)
+	lbu  r6, 3(r11)
+	lbu  r7, 4(r11)
+	lbu  r8, 5(r11)
+	lbu  r9, 6(r11)
+	lbu  r10, 7(r11)
+	# butterflies
+	add  r14, r3, r10       # s0
+	sub  r15, r3, r10       # d0
+	add  r16, r4, r9        # s1
+	sub  r17, r4, r9        # d1
+	add  r18, r5, r8        # s2
+	sub  r19, r5, r8        # d2
+	add  r21, r6, r7        # s3
+	sub  r22, r6, r7        # d3
+	# scaled outputs (fixed point, >>8)
+	li   r2, 181
+	add  r23, r14, r21
+	mul  r23, r23, r2
+	srai r23, r23, 8
+	sw   r23, 0(r12)
+	li   r2, 251
+	mul  r23, r15, r2
+	li   r2, 50
+	mul  r24, r22, r2
+	add  r23, r23, r24
+	srai r23, r23, 8
+	sw   r23, 4(r12)
+	li   r2, 236
+	add  r23, r16, r18
+	mul  r23, r23, r2
+	srai r23, r23, 8
+	sw   r23, 8(r12)
+	li   r2, 142
+	sub  r23, r17, r19
+	mul  r23, r23, r2
+	srai r23, r23, 8
+	sw   r23, 12(r12)
+	sub  r23, r14, r21
+	sw   r23, 16(r12)
+	add  r23, r15, r22
+	sw   r23, 20(r12)
+	sub  r23, r16, r18
+	sw   r23, 24(r12)
+	add  r23, r17, r19
+	sw   r23, 28(r12)
+	addi r11, r11, 8
+	addi r12, r12, 32
+	addi r13, r13, -1
+	bnez r13, row
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+
+	register(Workload{
+		Name:        "li",
+		Suite:       SPECint,
+		Description: "lisp-style cons cells: build a 2000-node list, then repeatedly traverse and reverse it in place (pointer chasing, small hot value set)",
+		Source: `
+	.data
+heap:	.space 16000            # 2000 cons cells (car, cdr)
+	.text
+	la   r11, heap
+	li   r13, 2000
+	li   r12, 0             # nil
+	li   r1, 5
+build:
+	sw   r1, 0(r11)
+	sw   r12, 4(r11)
+	mv   r12, r11
+	addi r11, r11, 8
+	addi r1, r1, 3
+	addi r13, r13, -1
+	bnez r13, build
+	li   r26, 250
+outer:
+	# traverse, summing cars
+	mv   r2, r12
+	li   r3, 0
+sum:
+	beqz r2, sdone
+	lw   r4, 0(r2)
+	add  r3, r3, r4
+	lw   r2, 4(r2)
+	j    sum
+sdone:
+	# reverse the list in place
+	mv   r2, r12
+	li   r5, 0
+rev:
+	beqz r2, rdone
+	lw   r6, 4(r2)
+	sw   r5, 4(r2)
+	mv   r5, r2
+	mv   r2, r6
+	j    rev
+rdone:
+	mv   r12, r5
+	add  r28, r28, r3
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+
+	register(Workload{
+		Name:        "m88ksim",
+		Suite:       SPECint,
+		Description: "microprocessor simulation: a decode-dispatch interpreter executing a synthetic virtual program over eight virtual registers",
+		Source: `
+	.data
+vprog:	.space 4096             # 1024 virtual instructions
+vregs:	.space 32               # 8 virtual registers
+	.text
+	li   r1, 31415
+	li   r2, 16807
+	la   r11, vprog
+	li   r13, 1024
+geninit:
+	mul  r1, r1, r2
+	addi r1, r1, 9
+	srli r3, r1, 7
+	sw   r3, 0(r11)
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, geninit
+	li   r26, 160
+outer:
+	la   r11, vprog
+	la   r12, vregs
+	li   r13, 1024
+vloop:
+	lw   r3, 0(r11)         # fetch virtual instruction
+	andi r4, r3, 3          # opcode
+	srli r5, r3, 2
+	andi r5, r5, 7          # dst
+	srli r6, r3, 5
+	andi r6, r6, 7          # src
+	srli r7, r3, 8
+	andi r7, r7, 255        # imm
+	slli r5, r5, 2
+	add  r5, r12, r5        # &vregs[dst]
+	slli r6, r6, 2
+	add  r6, r12, r6        # &vregs[src]
+	beqz r4, vadd
+	addi r8, r4, -1
+	beqz r8, vxor
+	addi r8, r4, -2
+	beqz r8, vimm
+	# opcode 3: accumulate into checksum
+	lw   r9, 0(r5)
+	add  r28, r28, r9
+	j    vnext
+vadd:
+	lw   r9, 0(r5)
+	lw   r10, 0(r6)
+	add  r9, r9, r10
+	sw   r9, 0(r5)
+	j    vnext
+vxor:
+	lw   r9, 0(r5)
+	lw   r10, 0(r6)
+	xor  r9, r9, r10
+	add  r9, r9, r7
+	sw   r9, 0(r5)
+	j    vnext
+vimm:
+	sw   r7, 0(r5)
+vnext:
+	addi r11, r11, 4
+	addi r13, r13, -1
+	bnez r13, vloop
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+
+	register(Workload{
+		Name:        "perl",
+		Suite:       SPECint,
+		Description: "text processing: naive substring search of a 6-byte pattern over an 8KB 4-symbol text, counting matches (byte compares, inner-loop branches)",
+		Source: `
+	.data
+text:	.space 8192
+pat:	.byte 1, 2, 1, 0, 3, 1
+	.text
+	li   r1, 2718
+	li   r2, 28411
+	la   r11, text
+	li   r13, 8192
+tinit:
+	mul  r1, r1, r2
+	addi r1, r1, 1021
+	srli r3, r1, 13
+	andi r3, r3, 3
+	sb   r3, 0(r11)
+	addi r11, r11, 1
+	addi r13, r13, -1
+	bnez r13, tinit
+	li   r26, 40
+outer:
+	la   r11, text
+	li   r13, 8186          # positions to try
+	li   r14, 0             # match count
+pos:
+	la   r12, pat
+	mv   r15, r11
+	li   r16, 6
+cmp:
+	lbu  r3, 0(r15)
+	lbu  r4, 0(r12)
+	bne  r3, r4, mismatch
+	addi r15, r15, 1
+	addi r12, r12, 1
+	addi r16, r16, -1
+	bnez r16, cmp
+	addi r14, r14, 1        # full match
+mismatch:
+	addi r11, r11, 1
+	addi r13, r13, -1
+	bnez r13, pos
+	add  r28, r28, r14
+	addi r26, r26, -1
+	bnez r26, outer
+	halt
+`,
+	})
+}
