@@ -10,6 +10,7 @@ package buspower
 // Full-scale data:  go run ./cmd/buspower -exp all -o results/
 
 import (
+	"context"
 	"testing"
 
 	"buspower/internal/bus"
@@ -63,6 +64,45 @@ func BenchmarkFig35(b *testing.B)  { benchExperiment(b, "fig35") }
 func BenchmarkFig36(b *testing.B)  { benchExperiment(b, "fig36") }
 func BenchmarkFig37(b *testing.B)  { benchExperiment(b, "fig37") }
 func BenchmarkFig38(b *testing.B)  { benchExperiment(b, "fig38") }
+
+// --- The concurrent experiment engine ---
+
+// benchRunAll times regenerating a set of artifacts through the parallel
+// engine at the given pool width; compare widths (and the serial
+// Benchmark* entries above) to see the engine's speedup on this machine.
+func benchRunAll(b *testing.B, jobs int) {
+	cfg := experiments.QuickConfig()
+	ids := []string{"fig7", "fig8", "fig16", "fig18", "extvlc"}
+	if _, err := experiments.RunAll(context.Background(), cfg, ids, experiments.Options{Jobs: jobs}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(context.Background(), cfg, ids, experiments.Options{Jobs: jobs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllJobs1(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkRunAllJobs4(b *testing.B) { benchRunAll(b, 4) }
+func BenchmarkRunAllMax(b *testing.B)   { benchRunAll(b, 0) }
+
+// The single-flight trace cache under contention: all goroutines ask for
+// an already-simulated key; the measurement is pure cache-hit overhead.
+func BenchmarkTracesCacheHit(b *testing.B) {
+	cfg := workload.RunConfig{MaxInstructions: 50_000, MaxBusValues: 5_000}
+	if _, err := workload.Traces("li", cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := workload.Traces("li", cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 // --- Ablations (DESIGN.md §5) ---
 // Each reports the design choice's effect as a custom metric alongside the

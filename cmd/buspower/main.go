@@ -6,22 +6,28 @@
 //	buspower -list
 //	buspower -exp table3
 //	buspower -exp fig15,fig16 -quick
-//	buspower -exp all -o results/
+//	buspower -exp all -o results/ -jobs 8 -v
 //
-// Each experiment prints (or writes) a TSV table whose series correspond
-// to the paper's artifact; see DESIGN.md for the per-experiment index and
-// EXPERIMENTS.md for paper-vs-measured numbers.
+// Experiments run concurrently on a bounded worker pool (-jobs, default
+// GOMAXPROCS) with deterministic output: the printed TSVs are
+// byte-identical to running each experiment serially. Each experiment
+// prints (or writes) a TSV table whose series correspond to the paper's
+// artifact; see DESIGN.md for the per-experiment index and EXPERIMENTS.md
+// for paper-vs-measured numbers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"strings"
+	"time"
 
 	"buspower/internal/experiments"
 	"buspower/internal/report"
+	"buspower/internal/workload"
 )
 
 func main() {
@@ -34,12 +40,13 @@ func main() {
 func run() error {
 	var (
 		list      = flag.Bool("list", false, "list available experiments and exit")
-		exp       = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		exp       = flag.String("exp", "", "comma-separated experiment ids; 'all' (alone or inside the list) selects every experiment")
 		quick     = flag.Bool("quick", false, "reduced sweeps and trace lengths (smoke test)")
 		instrs    = flag.Uint64("instrs", 0, "override max simulated instructions per workload")
-		values    = flag.Int("values", 0, "override max captured bus values per workload")
+		values    = flag.Int("values", 0, "override max captured bus values per workload (-1 = unlimited, 0 = keep the config's cap)")
+		jobs      = flag.Int("jobs", 0, "max concurrent workers across experiments and their sweeps (0 = GOMAXPROCS)")
 		outDir    = flag.String("o", "", "write one <id>.tsv per experiment into this directory instead of stdout")
-		verbose   = flag.Bool("v", false, "print progress to stderr")
+		verbose   = flag.Bool("v", false, "print per-experiment progress, wall times and trace-cache stats to stderr")
 		reportOut = flag.String("report", "", "write a Markdown self-check report (paper vs measured) to this file ('-' for stdout)")
 	)
 	flag.Parse()
@@ -58,12 +65,35 @@ func run() error {
 	if *instrs > 0 {
 		cfg.Run.MaxInstructions = *instrs
 	}
-	if *values > 0 {
+	// MaxBusValues uses 0 as the "unlimited" sentinel, so the CLI needs a
+	// distinct one: -1 (any negative) requests unlimited capture, 0 leaves
+	// the base config's cap in place.
+	if *values < 0 {
+		cfg.Run.MaxBusValues = 0
+	} else if *values > 0 {
 		cfg.Run.MaxBusValues = *values
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := experiments.Options{Jobs: *jobs}
+	if *verbose {
+		opts.Progress = func(ev experiments.ProgressEvent) {
+			if !ev.Done {
+				fmt.Fprintf(os.Stderr, "running %s...\n", ev.ID)
+				return
+			}
+			if ev.Err != nil {
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s failed after %v: %v\n", ev.Index+1, ev.Total, ev.ID, ev.Elapsed.Round(time.Millisecond), ev.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s done in %v\n", ev.Index+1, ev.Total, ev.ID, ev.Elapsed.Round(time.Millisecond))
+		}
+	}
+
 	if *reportOut != "" {
-		r, err := report.Build(cfg)
+		r, err := report.BuildContext(ctx, cfg, opts)
 		if err != nil {
 			return err
 		}
@@ -84,30 +114,32 @@ func run() error {
 		return fmt.Errorf("no experiment selected (use -exp, -report or -list)")
 	}
 
-	ids := strings.Split(*exp, ",")
-	if *exp == "all" {
-		ids = experiments.IDs()
+	// Validate the whole selection before anything runs: a typo in
+	// "-exp fig15,figXX" must fail here, not after fig15 already printed.
+	ids, err := experiments.ResolveIDs(*exp)
+	if err != nil {
+		return err
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			return err
 		}
 	}
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "running %s...\n", id)
-		}
-		tbl, err := experiments.Run(id, cfg)
-		if err != nil {
-			return err
-		}
+	tables, err := experiments.RunAll(ctx, cfg, ids, opts)
+	if *verbose {
+		hits, misses := workload.TraceCacheStats()
+		fmt.Fprintf(os.Stderr, "trace cache: %d hits, %d misses (simulations)\n", hits, misses)
+	}
+	if err != nil {
+		return err
+	}
+	for i, tbl := range tables {
 		if *outDir == "" {
 			fmt.Print(tbl.TSV())
 			fmt.Println()
 			continue
 		}
-		path := filepath.Join(*outDir, id+".tsv")
+		path := filepath.Join(*outDir, ids[i]+".tsv")
 		if err := os.WriteFile(path, []byte(tbl.TSV()), 0o644); err != nil {
 			return err
 		}

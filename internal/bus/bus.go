@@ -68,8 +68,19 @@ func TransitionCount(prev, cur Word, width int) int {
 //	1 if exactly one wire toggles (the coupling cap swings by Vdd),
 //	2 if the wires toggle in opposite directions (the cap swings by 2·Vdd).
 func CouplingCount(prev, cur Word, width int) int {
+	single, opposite := CouplingPairs(prev, cur, width)
+	return Weight(single) + 2*Weight(opposite)
+}
+
+// CouplingPairs classifies the adjacent wire pairs that couple between
+// states prev and cur: bit n of single is set iff exactly one wire of the
+// pair (n, n+1) toggles (1 event), bit n of opposite iff the wires toggle
+// in opposite directions (2 events). It is the one implementation of the
+// eq. (3) pair math, shared by CouplingCount and the Meter's per-pair
+// accounting.
+func CouplingPairs(prev, cur Word, width int) (single, opposite Word) {
 	if width < 2 {
-		return 0
+		return 0, 0
 	}
 	m := Mask(width)
 	prev &= m
@@ -79,10 +90,10 @@ func CouplingCount(prev, cur Word, width int) int {
 	falling := prev &^ cur
 	pm := Mask(width - 1)
 	// Pairs where exactly one wire toggles.
-	single := (t ^ (t >> 1)) & pm
+	single = (t ^ (t >> 1)) & pm
 	// Pairs where the wires toggle in opposite directions.
-	opposite := ((rising & (falling >> 1)) | (falling & (rising >> 1))) & pm
-	return Weight(single) + 2*Weight(opposite)
+	opposite = ((rising & (falling >> 1)) | (falling & (rising >> 1))) & pm
+	return single, opposite
 }
 
 // Cost returns the Λ-weighted energy cost (in units of wire transitions)

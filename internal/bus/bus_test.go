@@ -295,6 +295,36 @@ func TestMeterMatchesStepwiseCounts(t *testing.T) {
 	}
 }
 
+// Property: at the boundary widths (1 has no pairs and exercises
+// Mask(width-1) == Mask(0); 2 has a single pair; 33 straddles the word
+// half; 64 is the full word) the Meter's totals equal the per-cycle sums
+// of TransitionCount and CouplingCount — Record and the stateless
+// counters must share one implementation of the pair math.
+func TestMeterMatchesStepwiseCountsAtKeyWidths(t *testing.T) {
+	for _, width := range []int{1, 2, 33, 64} {
+		width := width
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			m := NewMeter(width)
+			var trans, coup uint64
+			prev := Word(0)
+			for i := 0; i < 200; i++ {
+				cur := Word(rng.Uint64()) & Mask(width)
+				m.Record(cur)
+				if i > 0 {
+					trans += uint64(TransitionCount(prev, cur, width))
+					coup += uint64(CouplingCount(prev, cur, width))
+				}
+				prev = cur
+			}
+			return m.Transitions() == trans && m.Couplings() == coup
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("width %d: %v", width, err)
+		}
+	}
+}
+
 // Property: cost is invariant under inverting the whole trace (all wires
 // flip state each cycle equally).
 func TestCostInversionInvariance(t *testing.T) {

@@ -50,12 +50,8 @@ func (m *Meter) Record(w Word) {
 	}
 	t := m.prev ^ w
 	if t != 0 {
-		m.transitions += uint64(Weight(t))
-		rising := w &^ m.prev
-		falling := m.prev &^ w
-		pm := Mask(m.width - 1)
-		single := (t ^ (t >> 1)) & pm
-		opposite := ((rising & (falling >> 1)) | (falling & (rising >> 1))) & pm
+		m.transitions += uint64(TransitionCount(m.prev, w, m.width))
+		single, opposite := CouplingPairs(m.prev, w, m.width)
 		m.couplings += uint64(Weight(single)) + 2*uint64(Weight(opposite))
 		for n := 0; t != 0; n++ {
 			if t&1 != 0 {

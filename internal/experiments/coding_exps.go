@@ -42,7 +42,9 @@ func removedPercent(tc coding.Transcoder, trace []uint64, lambda float64) (float
 }
 
 // sweepRows runs a builder over every workload (plus the random source)
-// and a parameter axis, emitting one row per (source, parameter).
+// and a parameter axis, emitting one row per (source, parameter). Sources
+// are evaluated concurrently when the engine is attached; row order is
+// the serial traversal's regardless.
 func sweepRows(t *Table, bus string, cfg Config, params []int, includeRandom bool,
 	build func(param int) (coding.Transcoder, error)) error {
 	sources := workload.Names()
@@ -53,7 +55,8 @@ func sweepRows(t *Table, bus string, cfg Config, params []int, includeRandom boo
 	if n <= 0 {
 		n = 100_000
 	}
-	for _, src := range sources {
+	return gatherRows(t, cfg, len(sources), func(i int, out *Table) error {
+		src := sources[i]
 		var tr []uint64
 		var err error
 		if src == "random" {
@@ -73,10 +76,10 @@ func sweepRows(t *Table, bus string, cfg Config, params []int, includeRandom boo
 			if err != nil {
 				return err
 			}
-			t.AddRow(src, p, pct)
+			out.AddRow(src, p, pct)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 func strideSweep(id, bus string) func(Config) (*Table, error) {
@@ -149,10 +152,11 @@ func runFig24(cfg Config) (*Table, error) {
 		Title:   "Energy removed vs shift register size on the register bus (value-based, tables of 16 and 64)",
 		Columns: []string{"benchmark", "table_size", "shift_register_size", "energy_removed_pct"},
 	}
-	for _, name := range fig24Benchmarks {
+	err := gatherRows(t, cfg, len(fig24Benchmarks), func(i int, out *Table) error {
+		name := fig24Benchmarks[i]
 		tr, err := busTrace(name, "reg", cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, tbl := range []int{16, 64} {
 			for _, sr := range srSizes {
@@ -161,17 +165,18 @@ func runFig24(cfg Config) (*Table, error) {
 					DividePeriod: 4096, Lambda: evalLambda,
 				})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				pct, err := removedPercent(ctx, tr, evalLambda)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				t.AddRow(name, tbl, sr, pct)
+				out.AddRow(name, tbl, sr, pct)
 			}
 		}
-	}
-	return t, nil
+		return nil
+	})
+	return t, err
 }
 
 func runFig25(cfg Config) (*Table, error) {
@@ -184,10 +189,11 @@ func runFig25(cfg Config) (*Table, error) {
 		Title:   "Energy removed vs counter divide period on the register bus (value-based, shift register size 8)",
 		Columns: []string{"benchmark", "table_size", "divide_period", "energy_removed_pct"},
 	}
-	for _, name := range fig24Benchmarks {
+	err := gatherRows(t, cfg, len(fig24Benchmarks), func(i int, out *Table) error {
+		name := fig24Benchmarks[i]
 		tr, err := busTrace(name, "reg", cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, tbl := range []int{16, 64} {
 			for _, period := range periods {
@@ -196,17 +202,18 @@ func runFig25(cfg Config) (*Table, error) {
 					DividePeriod: period, Lambda: evalLambda,
 				})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				pct, err := removedPercent(ctx, tr, evalLambda)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				t.AddRow(name, tbl, period, pct)
+				out.AddRow(name, tbl, period, pct)
 			}
 		}
-	}
-	return t, nil
+		return nil
+	})
+	return t, err
 }
 
 func runFig15(cfg Config) (*Table, error) {
@@ -234,7 +241,8 @@ func runFig15(cfg Config) (*Table, error) {
 	if n <= 0 {
 		n = 100_000
 	}
-	for _, src := range sources {
+	err = gatherRows(t, cfg, len(sources), func(i int, out *Table) error {
+		src := sources[i]
 		var traces [][]uint64
 		if src.bus == "" {
 			traces = [][]uint64{workload.RandomTrace(n, randomSeed)}
@@ -242,7 +250,7 @@ func runFig15(cfg Config) (*Table, error) {
 			for _, b := range fig7Benchmarks {
 				tr, err := busTrace(b, src.bus, cfg)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				traces = append(traces, tr)
 			}
@@ -258,19 +266,20 @@ func runFig15(cfg Config) (*Table, error) {
 			for _, actual := range lambdas {
 				inv, err := coding.NewInversion(busWidth, pats, variant.assumed(actual))
 				if err != nil {
-					return nil, err
+					return err
 				}
 				sum := 0.0
 				for _, tr := range traces {
 					res, err := coding.Evaluate(inv, tr, actual)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					sum += 100 * res.EnergyRemaining()
 				}
-				t.AddRow(src.name, variant.label, actual, sum/float64(len(traces)))
+				out.AddRow(src.name, variant.label, actual, sum/float64(len(traces)))
 			}
 		}
-	}
-	return t, nil
+		return nil
+	})
+	return t, err
 }

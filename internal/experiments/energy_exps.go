@@ -24,7 +24,8 @@ func init() {
 }
 
 // windowResult memoizes window-transcoder evaluations shared between the
-// energy figures.
+// energy figures. Like workload.Traces the memo is single-flight:
+// concurrent callers for the same key evaluate once and share the result.
 type windowKey struct {
 	name    string
 	bus     string
@@ -32,20 +33,39 @@ type windowKey struct {
 	run     workload.RunConfig
 }
 
+type windowEntry struct {
+	ready chan struct{}
+	res   coding.Result
+	err   error
+}
+
 var (
 	windowMu    sync.Mutex
-	windowMemo  = map[windowKey]coding.Result{}
+	windowMemo  = map[windowKey]*windowEntry{}
 	windowLimit = 64
 )
 
 func windowResultFor(name, bus string, entries int, cfg Config) (coding.Result, error) {
 	key := windowKey{name, bus, entries, cfg.Run}
 	windowMu.Lock()
-	res, ok := windowMemo[key]
-	windowMu.Unlock()
+	e, ok := windowMemo[key]
 	if ok {
-		return res, nil
+		windowMu.Unlock()
+		<-e.ready
+		return e.res, e.err
 	}
+	e = &windowEntry{ready: make(chan struct{})}
+	if len(windowMemo) > windowLimit {
+		windowMemo = map[windowKey]*windowEntry{}
+	}
+	windowMemo[key] = e
+	windowMu.Unlock()
+	e.res, e.err = evaluateWindow(name, bus, entries, cfg)
+	close(e.ready)
+	return e.res, e.err
+}
+
+func evaluateWindow(name, bus string, entries int, cfg Config) (coding.Result, error) {
 	tr, err := busTrace(name, bus, cfg)
 	if err != nil {
 		return coding.Result{}, err
@@ -54,17 +74,7 @@ func windowResultFor(name, bus string, entries int, cfg Config) (coding.Result, 
 	if err != nil {
 		return coding.Result{}, err
 	}
-	res, err = coding.Evaluate(win, tr, evalLambda)
-	if err != nil {
-		return coding.Result{}, err
-	}
-	windowMu.Lock()
-	if len(windowMemo) > windowLimit {
-		windowMemo = map[windowKey]coding.Result{}
-	}
-	windowMemo[key] = res
-	windowMu.Unlock()
-	return res, nil
+	return coding.Evaluate(win, tr, evalLambda)
 }
 
 func runFig26(cfg Config) (*Table, error) {
@@ -103,32 +113,40 @@ func runFig26(cfg Config) (*Table, error) {
 		}
 		return sum / float64(len(names)), nil
 	}
+	type spec struct {
+		design  string
+		length  float64
+		entries int
+		build   func() (coding.Transcoder, error)
+	}
+	var specs []spec
 	for _, l := range lengths {
 		for _, n := range windowSizes {
 			n := n
-			b, err := avgBudget(func() (coding.Transcoder, error) {
+			specs = append(specs, spec{"window", l, n, func() (coding.Transcoder, error) {
 				return coding.NewWindow(busWidth, n, evalLambda)
-			}, l)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow("window", l, n, b)
+			}})
 		}
 		for _, tbl := range contextTables {
 			tbl := tbl
-			b, err := avgBudget(func() (coding.Transcoder, error) {
+			specs = append(specs, spec{"context", l, tbl + 8, func() (coding.Transcoder, error) {
 				return coding.NewContext(coding.ContextConfig{
 					Width: busWidth, TableSize: tbl, ShiftEntries: 8,
 					DividePeriod: 4096, Lambda: evalLambda,
 				})
-			}, l)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow("context", l, tbl+8, b)
+			}})
 		}
 	}
-	return t, nil
+	err := gatherRows(t, cfg, len(specs), func(i int, out *Table) error {
+		s := specs[i]
+		b, err := avgBudget(s.build, s.length)
+		if err != nil {
+			return err
+		}
+		out.AddRow(s.design, s.length, s.entries, b)
+		return nil
+	})
+	return t, err
 }
 
 func runTable2(cfg Config) (*Table, error) {
@@ -216,16 +234,18 @@ func totalEnergySweep(id, bus string) func(Config) (*Table, error) {
 		if cfg.Quick {
 			names = names[:4]
 		}
-		for _, name := range names {
+		err := gatherRows(t, cfg, len(names), func(i int, out *Table) error {
+			name := names[i]
 			a, err := analysisFor(wire.Tech130, name, bus, 8, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for l := 1.0; l <= 30+1e-9; l += step {
-				t.AddRow(name, l, a.NormalizedTotal(l))
+				out.AddRow(name, l, a.NormalizedTotal(l))
 			}
-		}
-		return t, nil
+			return nil
+		})
+		return t, err
 	}
 }
 
@@ -260,35 +280,53 @@ func crossoverTrend(id, bus string) func(Config) (*Table, error) {
 		if cfg.Quick {
 			step = 15.0
 		}
-		entriesList := []int{8, 16}
-		suites := []string{"SPECint", "SPECfp"}
-		for _, tech := range wire.Technologies() {
-			for _, entries := range entriesList {
-				for _, suite := range suites {
-					names := suiteNames(suite)
-					if cfg.Quick {
-						names = names[:2]
-					}
-					var analyses []energy.Analysis
-					for _, name := range names {
-						a, err := analysisFor(tech, name, bus, entries, cfg)
-						if err != nil {
-							return nil, err
-						}
-						analyses = append(analyses, a)
-					}
-					for l := 1.0; l <= 30+1e-9; l += step {
-						vals := make([]float64, len(analyses))
-						for i, a := range analyses {
-							vals[i] = a.NormalizedTotal(l)
-						}
-						t.AddRow(tech.Name, entries, suite, l, stats.Median(vals))
-					}
+		units := techEntrySuiteUnits([]int{8, 16}, []string{"SPECint", "SPECfp"})
+		err := gatherRows(t, cfg, len(units), func(i int, out *Table) error {
+			u := units[i]
+			names := suiteNames(u.suite)
+			if cfg.Quick {
+				names = names[:2]
+			}
+			var analyses []energy.Analysis
+			for _, name := range names {
+				a, err := analysisFor(u.tech, name, bus, u.entries, cfg)
+				if err != nil {
+					return err
 				}
+				analyses = append(analyses, a)
+			}
+			for l := 1.0; l <= 30+1e-9; l += step {
+				vals := make([]float64, len(analyses))
+				for i, a := range analyses {
+					vals[i] = a.NormalizedTotal(l)
+				}
+				out.AddRow(u.tech.Name, u.entries, u.suite, l, stats.Median(vals))
+			}
+			return nil
+		})
+		return t, err
+	}
+}
+
+// techEntrySuiteUnit is one cell of the technology × entries × suite
+// sweep the crossover artifacts share, flattened in the serial traversal
+// order for deterministic row assembly.
+type techEntrySuiteUnit struct {
+	tech    wire.Technology
+	entries int
+	suite   string
+}
+
+func techEntrySuiteUnits(entriesList []int, suites []string) []techEntrySuiteUnit {
+	var out []techEntrySuiteUnit
+	for _, tech := range wire.Technologies() {
+		for _, entries := range entriesList {
+			for _, suite := range suites {
+				out = append(out, techEntrySuiteUnit{tech, entries, suite})
 			}
 		}
-		return t, nil
 	}
+	return out
 }
 
 func runTable3(cfg Config) (*Table, error) {
@@ -297,29 +335,28 @@ func runTable3(cfg Config) (*Table, error) {
 		Title:   "Median crossover lengths for the window-based design (register bus)",
 		Columns: []string{"technology", "entries", "suite", "median_crossover_mm"},
 	}
-	for _, tech := range wire.Technologies() {
-		for _, entries := range []int{8, 16} {
-			for _, suite := range []string{"SPECint", "SPECfp", "ALL"} {
-				names := suiteNames(suite)
-				if cfg.Quick {
-					names = names[:2]
-				}
-				var xs []float64
-				for _, name := range names {
-					a, err := analysisFor(tech, name, "reg", entries, cfg)
-					if err != nil {
-						return nil, err
-					}
-					xs = append(xs, a.CrossoverMM())
-				}
-				med := stats.Median(xs)
-				cell := fmt.Sprintf("%.1f", med)
-				if math.IsInf(med, 1) {
-					cell = "inf"
-				}
-				t.AddRow(tech.Name, entries, suite, cell)
-			}
+	units := techEntrySuiteUnits([]int{8, 16}, []string{"SPECint", "SPECfp", "ALL"})
+	err := gatherRows(t, cfg, len(units), func(i int, out *Table) error {
+		u := units[i]
+		names := suiteNames(u.suite)
+		if cfg.Quick {
+			names = names[:2]
 		}
-	}
-	return t, nil
+		var xs []float64
+		for _, name := range names {
+			a, err := analysisFor(u.tech, name, "reg", u.entries, cfg)
+			if err != nil {
+				return err
+			}
+			xs = append(xs, a.CrossoverMM())
+		}
+		med := stats.Median(xs)
+		cell := fmt.Sprintf("%.1f", med)
+		if math.IsInf(med, 1) {
+			cell = "inf"
+		}
+		out.AddRow(u.tech.Name, u.entries, u.suite, cell)
+		return nil
+	})
+	return t, err
 }

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the concurrent experiment engine. RunAll executes many
+// registered runners on one bounded worker pool, and the runners' heavy
+// inner loops (per-workload, per-scheme sweeps) fan out onto the same
+// pool via parFor/gatherRows. Results are slotted by index, so the output
+// is byte-identical to the serial path regardless of scheduling.
+
+// Options tunes RunAll.
+type Options struct {
+	// Jobs bounds the total number of concurrently executing goroutines
+	// across experiments and their inner sweeps; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Jobs int
+	// Progress, when non-nil, receives one event as each experiment
+	// starts and one as it finishes. Calls are serialized.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent reports one experiment starting or finishing.
+type ProgressEvent struct {
+	// ID is the experiment.
+	ID string
+	// Index is the experiment's position in the RunAll id list.
+	Index int
+	// Total is the length of the id list.
+	Total int
+	// Done is false for the start event, true for the finish event.
+	Done bool
+	// Elapsed is the experiment's wall time (finish events only).
+	Elapsed time.Duration
+	// Err is the experiment's failure (finish events only).
+	Err error
+}
+
+// engine is the shared concurrency budget. Experiment workers hold one
+// token each; inner loops opportunistically claim extra tokens and always
+// also run on their caller's goroutine, so the pool can never deadlock.
+type engine struct {
+	sem      chan struct{}
+	progMu   sync.Mutex
+	progress func(ProgressEvent)
+}
+
+func newEngine(jobs int, progress func(ProgressEvent)) *engine {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &engine{sem: make(chan struct{}, jobs), progress: progress}
+}
+
+func (e *engine) acquire() { e.sem <- struct{}{} }
+
+func (e *engine) tryAcquire() bool {
+	select {
+	case e.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *engine) release() { <-e.sem }
+
+func (e *engine) emit(ev ProgressEvent) {
+	if e.progress == nil {
+		return
+	}
+	e.progMu.Lock()
+	defer e.progMu.Unlock()
+	e.progress(ev)
+}
+
+// RunAll executes the given experiments concurrently on a worker pool of
+// opts.Jobs goroutines and returns their tables in id order — the output
+// is deterministic and byte-identical to running each id serially. Every
+// id is validated against the registry before any experiment runs. The
+// first failure (or ctx cancellation) cancels everything still in flight
+// and is returned; no partial tables are returned.
+func RunAll(ctx context.Context, cfg Config, ids []string, opts Options) ([]*Table, error) {
+	if err := validateIDs(ids); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	eng := newEngine(opts.Jobs, opts.Progress)
+	cfg.ctx = ctx
+	cfg.eng = eng
+
+	tables := make([]*Table, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		if ctx.Err() != nil {
+			break
+		}
+		eng.acquire()
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			defer eng.release()
+			if ctx.Err() != nil {
+				errs[i] = ctx.Err()
+				return
+			}
+			eng.emit(ProgressEvent{ID: id, Index: i, Total: len(ids)})
+			start := time.Now()
+			tbl, err := Run(id, cfg)
+			eng.emit(ProgressEvent{ID: id, Index: i, Total: len(ids), Done: true, Elapsed: time.Since(start), Err: err})
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			tables[i] = tbl
+		}(i, id)
+	}
+	wg.Wait()
+	// Prefer the lowest-index real failure over secondary cancellations so
+	// the reported error is stable across schedules.
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			ctxErr = err
+			continue
+		}
+		return nil, err
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+// ResolveIDs expands a comma-separated experiment selection ("fig15",
+// "fig15,table3", "all", "fig15,all") into registered ids, validating
+// every element up front so nothing runs before a typo is caught. "all"
+// may appear anywhere in the list and expands to every registered id;
+// empty elements (as in a trailing comma) are ignored; duplicates are
+// dropped, keeping first-occurrence order.
+func ResolveIDs(spec string) ([]string, error) {
+	var out []string
+	var unknown []string
+	seen := map[string]bool{}
+	add := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "":
+		case part == "all":
+			for _, id := range IDs() {
+				add(id)
+			}
+		case !registered(part):
+			unknown = append(unknown, part)
+		default:
+			add(part)
+		}
+	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("experiments: unknown experiment(s) %s (see -list)", strings.Join(unknown, ", "))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: empty experiment selection %q", spec)
+	}
+	return out, nil
+}
+
+func registered(id string) bool {
+	regMu.Lock()
+	defer regMu.Unlock()
+	_, ok := registry[id]
+	return ok
+}
+
+func validateIDs(ids []string) error {
+	var unknown []string
+	for _, id := range ids {
+		if !registered(id) {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("experiments: unknown experiment(s) %s (see IDs())", strings.Join(unknown, ", "))
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("experiments: no experiments selected")
+	}
+	return nil
+}
+
+// parFor runs fn(0..n-1), fanning out across the engine's spare pool
+// capacity when the Config carries one (under RunAll) and degrading to a
+// plain serial loop otherwise. The calling goroutine always participates,
+// and helpers only claim pool tokens opportunistically, so nested use
+// cannot deadlock. On failure the lowest-index error observed is
+// returned; fn must write its result into an index-addressed slot for
+// deterministic assembly.
+func parFor(cfg Config, n int, fn func(i int) error) error {
+	ctx := cfg.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.eng == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || failed() || ctx.Err() != nil {
+				return
+			}
+			if err := fn(i); err != nil {
+				fail(i, err)
+				return
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for helpers := 0; helpers < n-1 && cfg.eng.tryAcquire(); helpers++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cfg.eng.release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// gatherRows evaluates n independent row groups — in parallel when the
+// Config carries an engine — each into its own scratch table, then
+// appends the groups' rows to t in slot order so the assembled table is
+// identical to the serial traversal.
+func gatherRows(t *Table, cfg Config, n int, fn func(i int, out *Table) error) error {
+	subs := make([]*Table, n)
+	if err := parFor(cfg, n, func(i int) error {
+		sub := &Table{}
+		if err := fn(i, sub); err != nil {
+			return err
+		}
+		subs[i] = sub
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, sub := range subs {
+		t.Rows = append(t.Rows, sub.Rows...)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -22,6 +23,12 @@ type Config struct {
 	// Quick trims sweep ranges and trace lengths for smoke tests and
 	// benchmarks; the full configuration reproduces the paper's axes.
 	Quick bool
+
+	// ctx and eng are set by RunAll: ctx carries cancellation into runner
+	// inner loops, eng bounds their goroutine fan-out. Both nil under the
+	// plain serial Run path, where parFor degrades to a simple loop.
+	ctx context.Context
+	eng *engine
 }
 
 // DefaultConfig returns the full-scale configuration.

@@ -75,33 +75,44 @@ func runExtCtx(cfg Config) (*Table, error) {
 			})
 		}},
 	}
-	for _, tech := range wire.Technologies() {
+	techs := wire.Technologies()
+	type unit struct {
+		tech wire.Technology
+		d    design
+	}
+	var units []unit
+	for _, tech := range techs {
 		for _, d := range designs {
-			var savings, xovers []float64
-			for _, name := range names {
-				tr, err := busTrace(name, "reg", cfg)
-				if err != nil {
-					return nil, err
-				}
-				tc, err := d.build()
-				if err != nil {
-					return nil, err
-				}
-				res, err := coding.Evaluate(tc, tr, evalLambda)
-				if err != nil {
-					return nil, err
-				}
-				a, err := energy.NewAnalysis(tech, res, d.kind, d.entries)
-				if err != nil {
-					return nil, err
-				}
-				savings = append(savings, 100*a.EnergyRemovedFraction())
-				xovers = append(xovers, a.CrossoverMM())
-			}
-			t.AddRow(d.label, tech.Name, stats.Median(savings), stats.Median(xovers))
+			units = append(units, unit{tech, d})
 		}
 	}
-	return t, nil
+	err := gatherRows(t, cfg, len(units), func(i int, out *Table) error {
+		tech, d := units[i].tech, units[i].d
+		var savings, xovers []float64
+		for _, name := range names {
+			tr, err := busTrace(name, "reg", cfg)
+			if err != nil {
+				return err
+			}
+			tc, err := d.build()
+			if err != nil {
+				return err
+			}
+			res, err := coding.Evaluate(tc, tr, evalLambda)
+			if err != nil {
+				return err
+			}
+			a, err := energy.NewAnalysis(tech, res, d.kind, d.entries)
+			if err != nil {
+				return err
+			}
+			savings = append(savings, 100*a.EnergyRemovedFraction())
+			xovers = append(xovers, a.CrossoverMM())
+		}
+		out.AddRow(d.label, tech.Name, stats.Median(savings), stats.Median(xovers))
+		return nil
+	})
+	return t, err
 }
 
 // runExtScale sweeps feature size continuously between the paper's
@@ -122,28 +133,30 @@ func runExtScale(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		names = names[:3]
 	}
-	for _, nm := range sizes {
+	err := gatherRows(t, cfg, len(sizes), func(i int, out *Table) error {
+		nm := sizes[i]
 		tech, err := wire.Interpolate(nm)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, entries := range []int{8, 16} {
 			var xs []float64
 			for _, name := range names {
 				res, err := windowResultFor(name, "reg", entries, cfg)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				a, err := energy.NewAnalysis(tech, res, circuit.WindowDesign, entries)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				xs = append(xs, a.CrossoverMM())
 			}
-			t.AddRow(nm, entries, stats.Median(xs))
+			out.AddRow(nm, entries, stats.Median(xs))
 		}
-	}
-	return t, nil
+		return nil
+	})
+	return t, err
 }
 
 // runExtVLC implements the paper's §6 future work — variable-length
@@ -161,26 +174,28 @@ func runExtVLC(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		names = names[:4]
 	}
-	for _, name := range names {
+	err := gatherRows(t, cfg, len(names), func(i int, out *Table) error {
+		name := names[i]
 		tr, err := busTrace(name, "reg", cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		vlc, err := coding.EvaluateVLC(coding.VLCConfig{Width: busWidth, Entries: 14, Lambda: evalLambda}, tr, evalLambda)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		win, err := coding.NewWindow(busWidth, 14, evalLambda)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fixed, err := coding.Evaluate(win, tr, evalLambda)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(name, 100*vlc.EnergyRemoved(), vlc.BeatRatio(), 100*fixed.EnergyRemoved())
-	}
-	return t, nil
+		out.AddRow(name, 100*vlc.EnergyRemoved(), vlc.BeatRatio(), 100*fixed.EnergyRemoved())
+		return nil
+	})
+	return t, err
 }
 
 func runExtAddr(cfg Config) (*Table, error) {
@@ -203,25 +218,27 @@ func runExtAddr(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		names = names[:4]
 	}
-	for _, name := range names {
+	err := gatherRows(t, cfg, len(names), func(i int, out *Table) error {
+		name := names[i]
 		tr, err := busTrace(name, "addr", cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if len(tr) < 100 {
-			continue
+			return nil
 		}
 		for _, build := range builders {
 			tc, err := build()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			pct, err := removedPercent(tc, tr, evalLambda)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			t.AddRow(name, tc.Name(), pct)
+			out.AddRow(name, tc.Name(), pct)
 		}
-	}
-	return t, nil
+		return nil
+	})
+	return t, err
 }

@@ -51,19 +51,34 @@ func runFig7(cfg Config) (*Table, error) {
 		Title:   "Fraction of total trace covered by the N most frequent unique values",
 		Columns: []string{"benchmark", "bus", "unique_values", "coverage"},
 	}
-	for _, name := range fig7Benchmarks {
+	pairs := benchBusPairs(fig7Benchmarks)
+	err := gatherRows(t, cfg, len(pairs), func(i int, out *Table) error {
+		name, bus := pairs[i].name, pairs[i].bus
+		tr, err := busTrace(name, bus, cfg)
+		if err != nil {
+			return err
+		}
+		cdf := stats.FrequencyCDF(tr)
+		for _, n := range counts {
+			out.AddRow(name, bus, n, stats.CoverageAt(cdf, n))
+		}
+		return nil
+	})
+	return t, err
+}
+
+// benchBusPairs flattens the (benchmark, bus) double loop the §4.2 trace
+// statistics share, in the serial traversal's order.
+type benchBus struct{ name, bus string }
+
+func benchBusPairs(names []string) []benchBus {
+	out := make([]benchBus, 0, 2*len(names))
+	for _, name := range names {
 		for _, bus := range []string{"reg", "mem"} {
-			tr, err := busTrace(name, bus, cfg)
-			if err != nil {
-				return nil, err
-			}
-			cdf := stats.FrequencyCDF(tr)
-			for _, n := range counts {
-				t.AddRow(name, bus, n, stats.CoverageAt(cdf, n))
-			}
+			out = append(out, benchBus{name, bus})
 		}
 	}
-	return t, nil
+	return out
 }
 
 func runFig8(cfg Config) (*Table, error) {
@@ -76,19 +91,20 @@ func runFig8(cfg Config) (*Table, error) {
 		Title:   "Average fraction of values unique within a sliding window",
 		Columns: []string{"benchmark", "bus", "window", "unique_fraction"},
 	}
-	for _, name := range fig7Benchmarks {
-		for _, bus := range []string{"reg", "mem"} {
-			tr, err := busTrace(name, bus, cfg)
-			if err != nil {
-				return nil, err
-			}
-			for _, w := range windows {
-				if w > len(tr) {
-					continue
-				}
-				t.AddRow(name, bus, w, stats.WindowUniqueFraction(tr, w))
-			}
+	pairs := benchBusPairs(fig7Benchmarks)
+	err := gatherRows(t, cfg, len(pairs), func(i int, out *Table) error {
+		name, bus := pairs[i].name, pairs[i].bus
+		tr, err := busTrace(name, bus, cfg)
+		if err != nil {
+			return err
 		}
-	}
-	return t, nil
+		for _, w := range windows {
+			if w > len(tr) {
+				continue
+			}
+			out.AddRow(name, bus, w, stats.WindowUniqueFraction(tr, w))
+		}
+		return nil
+	})
+	return t, err
 }

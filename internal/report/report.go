@@ -5,6 +5,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -72,14 +73,20 @@ type Report struct {
 
 // Build runs the required experiments and assembles all checks.
 func Build(cfg experiments.Config) (*Report, error) {
+	return BuildContext(context.Background(), cfg, experiments.Options{})
+}
+
+// BuildContext is Build with cancellation and a tunable worker pool: the
+// required experiments run concurrently through experiments.RunAll.
+func BuildContext(ctx context.Context, cfg experiments.Config, opts experiments.Options) (*Report, error) {
 	r := &Report{Tables: map[string]*experiments.Table{}}
 	need := []string{"table1", "table2", "table3", "fig15", "fig19", "fig21", "fig23"}
-	for _, id := range need {
-		tbl, err := experiments.Run(id, cfg)
-		if err != nil {
-			return nil, err
-		}
-		r.Tables[id] = tbl
+	tables, err := experiments.RunAll(ctx, cfg, need, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range need {
+		r.Tables[id] = tables[i]
 	}
 	var errs []string
 	for _, f := range []func(*Report) error{

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"buspower/internal/cpu"
 )
@@ -58,39 +59,73 @@ type cacheKey struct {
 	cfg  RunConfig
 }
 
+// cacheEntry is one single-flight cache slot: the first caller to claim a
+// key simulates and closes ready; everyone else blocks on ready and reads
+// the stored result.
+type cacheEntry struct {
+	ready chan struct{}
+	ts    TraceSet
+	err   error
+}
+
 var (
-	cacheMu    sync.Mutex
-	traceCache = map[cacheKey]TraceSet{}
+	cacheMu     sync.Mutex
+	traceCache  = map[cacheKey]*cacheEntry{}
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 )
 
 // Traces returns the workload's bus traces, memoized per (workload,
 // config) so the many figure sweeps sharing a trace do not re-simulate.
+//
+// The cache is single-flight and safe for concurrent use: when N callers
+// ask for the same (workload, config) at once, exactly one runs the
+// simulation while the rest block until its result (or error — errors are
+// deterministic here, so they are cached too) is ready. All callers share
+// the same backing arrays; traces must be treated as read-only.
 func Traces(name string, cfg RunConfig) (TraceSet, error) {
 	key := cacheKey{name, cfg}
 	cacheMu.Lock()
-	ts, ok := traceCache[key]
-	cacheMu.Unlock()
+	e, ok := traceCache[key]
 	if ok {
-		return ts, nil
+		cacheMu.Unlock()
+		cacheHits.Add(1)
+		<-e.ready
+		return e.ts, e.err
 	}
+	e = &cacheEntry{ready: make(chan struct{})}
+	traceCache[key] = e
+	cacheMu.Unlock()
+	cacheMisses.Add(1)
+	e.ts, e.err = simulate(name, cfg)
+	close(e.ready)
+	return e.ts, e.err
+}
+
+func simulate(name string, cfg RunConfig) (TraceSet, error) {
 	w, err := ByName(name)
 	if err != nil {
 		return TraceSet{}, err
 	}
-	ts, err = Run(w, cfg)
-	if err != nil {
-		return TraceSet{}, err
-	}
-	cacheMu.Lock()
-	traceCache[key] = ts
-	cacheMu.Unlock()
-	return ts, nil
+	return Run(w, cfg)
 }
 
-// ClearTraceCache drops all memoized traces (for tests and tools that
-// sweep many configurations).
+// TraceCacheStats reports the cache's counters: hits counts calls served
+// from a memoized or in-flight simulation, misses counts simulations
+// actually started. After any burst of concurrent Traces calls for one
+// key, misses increases by exactly 1.
+func TraceCacheStats() (hits, misses uint64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+// ClearTraceCache drops all memoized traces and resets the hit/miss
+// counters (for tests and tools that sweep many configurations).
+// In-flight simulations complete and are delivered to their waiters, but
+// their results are no longer cached for later callers.
 func ClearTraceCache() {
 	cacheMu.Lock()
-	traceCache = map[cacheKey]TraceSet{}
+	traceCache = map[cacheKey]*cacheEntry{}
 	cacheMu.Unlock()
+	cacheHits.Store(0)
+	cacheMisses.Store(0)
 }
