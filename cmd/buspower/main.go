@@ -7,6 +7,7 @@
 //	buspower -exp table3
 //	buspower -exp fig15,fig16 -quick
 //	buspower -exp all -o results/ -jobs 8 -v
+//	buspower bench -quick -out results/BENCH_PR2.json
 //
 // Experiments run concurrently on a bounded worker pool (-jobs, default
 // GOMAXPROCS) with deterministic output: the printed TSVs are
@@ -14,6 +15,11 @@
 // prints (or writes) a TSV table whose series correspond to the paper's
 // artifact; see DESIGN.md for the per-experiment index and EXPERIMENTS.md
 // for paper-vs-measured numbers.
+//
+// The bench subcommand runs the kernel micro-benchmarks and an
+// end-to-end quick regeneration, writing a JSON report comparable across
+// PRs (see "Profiling & benchmarking" in README.md). Both modes accept
+// -cpuprofile/-memprofile for pprof captures.
 package main
 
 import (
@@ -23,18 +29,126 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"buspower/internal/bench"
 	"buspower/internal/experiments"
 	"buspower/internal/report"
 	"buspower/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		if err := runBench(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "buspower bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "buspower:", err)
 		os.Exit(1)
 	}
+}
+
+// profileFlags registers -cpuprofile/-memprofile on fs and returns a
+// start function whose returned stop function finishes both captures.
+func profileFlags(fs *flag.FlagSet) func() (stop func() error, err error) {
+	cpu := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	mem := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	return func() (func() error, error) {
+		var cpuFile *os.File
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				return nil, err
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return nil, err
+			}
+			cpuFile = f
+		}
+		memPath := *mem
+		return func() error {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					return err
+				}
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	}
+}
+
+// runBench implements the `buspower bench` subcommand.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		quick    = fs.Bool("quick", false, "short per-kernel benchmark budget (CI smoke)")
+		skipE2E  = fs.Bool("skip-e2e", false, "skip the end-to-end -exp all -quick timing")
+		out      = fs.String("out", "results/BENCH_PR2.json", "write the JSON report to this file ('-' for stdout)")
+		baseline = fs.String("baseline", "", "previous report to embed baseline numbers and speedups from")
+		quiet    = fs.Bool("q", false, "suppress per-kernel progress on stderr")
+	)
+	startProfiles := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := bench.Options{Quick: *quick, SkipE2E: *skipE2E}
+	if *baseline != "" {
+		base, err := bench.Load(*baseline)
+		if err != nil {
+			return err
+		}
+		opts.Baseline = base
+	}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		return err
+	}
+	rep, err := bench.Run(opts)
+	if err != nil {
+		return err
+	}
+	if err := stopProfiles(); err != nil {
+		return err
+	}
+	if *out == "-" {
+		data, err := rep.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	if dir := filepath.Dir(*out); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	return nil
 }
 
 func run() error {
@@ -49,7 +163,17 @@ func run() error {
 		verbose   = flag.Bool("v", false, "print per-experiment progress, wall times and trace-cache stats to stderr")
 		reportOut = flag.String("report", "", "write a Markdown self-check report (paper vs measured) to this file ('-' for stdout)")
 	)
+	startProfiles := profileFlags(flag.CommandLine)
 	flag.Parse()
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "buspower: profile:", err)
+		}
+	}()
 
 	if *list {
 		titles := experiments.Titles()

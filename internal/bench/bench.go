@@ -1,0 +1,191 @@
+// Package bench is the reproducible performance harness behind the
+// `buspower bench` subcommand. It micro-benchmarks the hot kernels of the
+// simulate→encode→measure pipeline with testing.Benchmark, times an
+// end-to-end experiment regeneration (cold and warm trace cache), and
+// writes a machine-readable JSON report (results/BENCH_*.json). Passing a
+// previous report as the baseline embeds its numbers and the computed
+// speedups in the new report, so kernel regressions across PRs show up as
+// a diff in one committed file.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// KernelResult is one micro-benchmark measurement.
+type KernelResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// BaselineNsPerOp and Speedup are filled when a baseline report
+	// contains a kernel of the same name; Speedup > 1 means this run is
+	// faster than the baseline.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+// E2EResult times one full `-exp all -quick` regeneration through the
+// parallel engine, with a cold and a warm workload trace cache.
+type E2EResult struct {
+	IDs    string `json:"ids"`
+	Config string `json:"config"`
+	Jobs   int    `json:"jobs"`
+	Tables int    `json:"tables"`
+	ColdMS float64 `json:"cold_ms"`
+	WarmMS float64 `json:"warm_ms"`
+
+	BaselineColdMS float64 `json:"baseline_cold_ms,omitempty"`
+	BaselineWarmMS float64 `json:"baseline_warm_ms,omitempty"`
+	ColdSpeedup    float64 `json:"cold_speedup,omitempty"`
+	WarmSpeedup    float64 `json:"warm_speedup,omitempty"`
+}
+
+// Report is the full harness output.
+type Report struct {
+	Schema     int    `json:"schema"`
+	Created    string `json:"created"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick"`
+
+	Kernels []KernelResult `json:"kernels"`
+	E2E     *E2EResult     `json:"e2e,omitempty"`
+
+	// BaselineCreated is the timestamp of the report the speedups were
+	// computed against, when one was supplied.
+	BaselineCreated string `json:"baseline_created,omitempty"`
+}
+
+// Options tunes a harness run.
+type Options struct {
+	// Quick trims benchmark time per kernel; pair with CI smoke jobs.
+	Quick bool
+	// SkipE2E skips the end-to-end experiment timing.
+	SkipE2E bool
+	// Baseline, when non-nil, is a previous Report to compare against.
+	Baseline *Report
+	// Progress, when non-nil, receives one line per finished measurement.
+	Progress func(string)
+}
+
+// Run executes every kernel benchmark plus the end-to-end timing and
+// assembles the report.
+func Run(opts Options) (*Report, error) {
+	r := &Report{
+		Schema:     1,
+		Created:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      opts.Quick,
+	}
+	configureBenchtime(opts.Quick)
+	for _, k := range Kernels() {
+		res := testing.Benchmark(k.Fn)
+		kr := KernelResult{
+			Name:        k.Name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		r.Kernels = append(r.Kernels, kr)
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("%-32s %12.1f ns/op %8d allocs/op", kr.Name, kr.NsPerOp, kr.AllocsPerOp))
+		}
+	}
+	if !opts.SkipE2E {
+		e2e, err := runE2E()
+		if err != nil {
+			return nil, err
+		}
+		r.E2E = e2e
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("%-32s %12.1f ms cold %10.1f ms warm", "E2E/"+e2e.IDs+"-"+e2e.Config, e2e.ColdMS, e2e.WarmMS))
+		}
+	}
+	if opts.Baseline != nil {
+		r.compare(opts.Baseline)
+	}
+	return r, nil
+}
+
+// compare fills baseline numbers and speedups from a previous report.
+func (r *Report) compare(base *Report) {
+	r.BaselineCreated = base.Created
+	prev := make(map[string]KernelResult, len(base.Kernels))
+	for _, k := range base.Kernels {
+		prev[k.Name] = k
+	}
+	for i := range r.Kernels {
+		b, ok := prev[r.Kernels[i].Name]
+		if !ok || b.NsPerOp <= 0 || r.Kernels[i].NsPerOp <= 0 {
+			continue
+		}
+		r.Kernels[i].BaselineNsPerOp = b.NsPerOp
+		r.Kernels[i].Speedup = b.NsPerOp / r.Kernels[i].NsPerOp
+	}
+	if r.E2E != nil && base.E2E != nil {
+		if base.E2E.ColdMS > 0 && r.E2E.ColdMS > 0 {
+			r.E2E.BaselineColdMS = base.E2E.ColdMS
+			r.E2E.ColdSpeedup = base.E2E.ColdMS / r.E2E.ColdMS
+		}
+		if base.E2E.WarmMS > 0 && r.E2E.WarmMS > 0 {
+			r.E2E.BaselineWarmMS = base.E2E.WarmMS
+			r.E2E.WarmSpeedup = base.E2E.WarmMS / r.E2E.WarmMS
+		}
+	}
+}
+
+// MarshalIndent renders the report as indented JSON.
+func (r *Report) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteFile marshals the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := r.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a report written by WriteFile.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: bad report %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// configureBenchtime shortens testing.Benchmark's per-kernel budget in
+// quick mode. testing.Init is idempotent; Set failures (which cannot
+// happen for this flag) would only restore the 1s default.
+func configureBenchtime(quick bool) {
+	testing.Init()
+	d := "500ms"
+	if quick {
+		d = "30ms"
+	}
+	if err := flagSet("test.benchtime", d); err != nil {
+		_ = err // keep the default budget
+	}
+}

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"context"
+	"flag"
+	"testing"
+	"time"
+
+	"buspower/internal/bus"
+	"buspower/internal/coding"
+	"buspower/internal/cpu"
+	"buspower/internal/experiments"
+	"buspower/internal/stats"
+	"buspower/internal/workload"
+)
+
+func flagSet(name, value string) error { return flag.Set(name, value) }
+
+// Kernel is one named micro-benchmark of a pipeline hot path.
+type Kernel struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// Kernels returns the micro-benchmarks in report order. Names are stable
+// across PRs — the JSON comparison matches on them — so measurements keep
+// meaning "the same operation" even as implementations change underneath.
+func Kernels() []Kernel {
+	return []Kernel{
+		{"Meter.Record/dense-32", benchMeterRecordDense},
+		{"Meter.Record/sparse-64", benchMeterRecordSparse},
+		{"Meter.MeasureTrace/dense-32", benchMeterMeasureTrace},
+		{"Window.Encode/8", benchWindowEncode(8)},
+		{"Window.Encode/128", benchWindowEncode(128)},
+		{"Context.Encode/16", benchContextEncode(16)},
+		{"Context.Encode/128", benchContextEncode(128)},
+		{"Coding.EvaluateSweep/window", benchEvaluateSweep},
+		{"CPU.Simulate/li-50k", benchSimulate},
+	}
+}
+
+// denseTrace is uniformly random traffic: roughly half of all wires toggle
+// every cycle, the worst case for per-wire accounting.
+func denseTrace(n int, width int) []bus.Word {
+	rng := stats.NewRNG(1)
+	mask := bus.Mask(width)
+	out := make([]bus.Word, n)
+	for i := range out {
+		out[i] = bus.Word(rng.Uint64()) & mask
+	}
+	return out
+}
+
+// sparseTrace toggles exactly one high-order wire per cycle — the paper's
+// "quiet bus" regime (most cycles move little), and the worst case for
+// bit-serial accounting loops that walk from wire 0 to the highest
+// toggled wire.
+func sparseTrace(n int) []bus.Word {
+	out := make([]bus.Word, n)
+	for i := range out {
+		if i%2 == 1 {
+			out[i] = 1 << 62
+		}
+	}
+	return out
+}
+
+// dictTrace is dictionary-friendly traffic: a hot working set sized to the
+// transcoder table with occasional cold values, so encode exercises both
+// the hit (probe) and miss (insert) paths.
+func dictTrace(n, hotValues int) []uint64 {
+	rng := stats.NewRNG(424242)
+	hot := make([]uint64, hotValues)
+	for i := range hot {
+		hot[i] = rng.Uint64() & 0xFFFFFFFF
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		if rng.Intn(12) == 0 {
+			out[i] = rng.Uint64() & 0xFFFFFFFF
+		} else {
+			out[i] = hot[rng.Intn(len(hot))]
+		}
+	}
+	return out
+}
+
+func benchMeterRecordDense(b *testing.B) {
+	trace := denseTrace(4096, 32)
+	m := bus.NewMeter(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Record(trace[i&4095])
+	}
+}
+
+func benchMeterRecordSparse(b *testing.B) {
+	trace := sparseTrace(4096)
+	m := bus.NewMeter(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Record(trace[i&4095])
+	}
+}
+
+func benchMeterMeasureTrace(b *testing.B) {
+	trace := denseTrace(4096, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := bus.MeasureTrace(32, trace)
+		if m.Cycles() == 0 {
+			b.Fatal("empty measurement")
+		}
+	}
+	b.SetBytes(int64(len(trace)) * 8)
+}
+
+func benchWindowEncode(entries int) func(b *testing.B) {
+	return func(b *testing.B) {
+		trace := dictTrace(8192, entries*3/4)
+		win, err := coding.NewWindow(32, entries, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc := win.NewEncoder()
+		// Warm the dictionary so the steady state dominates.
+		for _, v := range trace {
+			enc.Encode(v)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			enc.Encode(trace[i&8191])
+		}
+	}
+}
+
+func benchContextEncode(table int) func(b *testing.B) {
+	return func(b *testing.B) {
+		trace := dictTrace(8192, table*3/4)
+		ctx, err := coding.NewContext(coding.ContextConfig{
+			Width: 32, TableSize: table, ShiftEntries: 8,
+			DividePeriod: 4096, Lambda: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc := ctx.NewEncoder()
+		for _, v := range trace {
+			enc.Encode(v)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			enc.Encode(trace[i&8191])
+		}
+	}
+}
+
+// benchEvaluateSweep is the experiments' inner loop in miniature: several
+// window sizes evaluated over one shared trace, the way the figure sweeps
+// multiply schemes × parameters over each workload.
+func benchEvaluateSweep(b *testing.B) {
+	trace := dictTrace(8192, 24)
+	sizes := []int{4, 8, 16, 32}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := evaluateWindowSweep(trace, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// evaluateWindowSweep evaluates each window size on the trace and returns
+// the coded costs. It uses the same coding-package entry points as the
+// experiment runners, so its cost tracks theirs: one shared raw-bus
+// measurement for the sweep, encoder/decoder state reused via Evaluator.
+func evaluateWindowSweep(trace []uint64, sizes []int) ([]float64, error) {
+	raw := coding.MeasureRawValues(32, trace)
+	var ev coding.Evaluator
+	out := make([]float64, 0, len(sizes))
+	for _, n := range sizes {
+		win, err := coding.NewWindow(32, n, 1)
+		if err != nil {
+			return nil, err
+		}
+		ev.Use(win)
+		res, err := ev.Evaluate(trace, 1, raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.CodedCost())
+	}
+	return out, nil
+}
+
+func benchSimulate(b *testing.B) {
+	w, err := workload.ByName("li")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := cpu.NewSimulator(p, cpu.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := sim.Run(50_000, 0)
+		if tr.Instructions == 0 {
+			b.Fatal("no instructions executed")
+		}
+	}
+}
+
+// runE2E times one full quick-scale regeneration of every artifact through
+// the parallel engine: cold (trace cache emptied first, so CPU simulation
+// is included) and warm (sweep kernels only — the cost repeated reruns
+// actually pay).
+func runE2E() (*E2EResult, error) {
+	cfg := experiments.QuickConfig()
+	ids, err := experiments.ResolveIDs("all")
+	if err != nil {
+		return nil, err
+	}
+	workload.ClearTraceCache()
+	start := time.Now()
+	tables, err := experiments.RunAll(context.Background(), cfg, ids, experiments.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cold := time.Since(start)
+	start = time.Now()
+	if _, err := experiments.RunAll(context.Background(), cfg, ids, experiments.Options{}); err != nil {
+		return nil, err
+	}
+	warm := time.Since(start)
+	return &E2EResult{
+		IDs:    "all",
+		Config: "quick",
+		Jobs:   0,
+		Tables: len(tables),
+		ColdMS: float64(cold.Microseconds()) / 1000,
+		WarmMS: float64(warm.Microseconds()) / 1000,
+	}, nil
+}

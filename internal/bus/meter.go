@@ -1,72 +1,157 @@
 package bus
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Meter accumulates the paper's per-wire activity statistics over a stream
-// of bus states. Feed it the absolute wire state each cycle with Record;
-// it tracks Σλ_n (self transitions, eq. 2) and Σψ_n (coupling events,
-// eq. 3) so that the Λ-weighted energy cost of the trace can be computed
-// for any wire length and technology.
+// of bus states. Feed it the absolute wire state each cycle with Record
+// (or a batch with RecordTrace); it tracks Σλ_n (self transitions, eq. 2)
+// and Σψ_n (coupling events, eq. 3) so that the Λ-weighted energy cost of
+// the trace can be computed for any wire length and technology.
 //
 // The first recorded word establishes the initial bus state and expends no
 // energy.
+//
+// NewMeter also collects per-wire and per-pair histograms; NewMeterLite
+// keeps only the Σ totals, which is all the scheme sweeps consume, and
+// makes Record a handful of word-parallel bit operations per cycle.
 type Meter struct {
-	width   int
-	prev    Word
-	started bool
+	width    int
+	mask     Word // low width bits
+	pairMask Word // low width-1 bits: valid adjacent pairs
+	prev     Word
+	started  bool
 
 	cycles      uint64
 	transitions uint64 // Σ_n λ_n
 	couplings   uint64 // Σ_n ψ_n
 
-	perWire []uint64 // λ_n per wire (len = width)
-	perPair []uint64 // ψ_n per adjacent pair (len = max(width-1, 0))
+	perWire []uint64 // λ_n per wire (len = width); nil for lite meters
+	perPair []uint64 // ψ_n per adjacent pair (len = max(width-1, 0)); nil for lite meters
 }
 
-// NewMeter returns a Meter for a bus of the given width (1..MaxWidth).
+// NewMeter returns a Meter for a bus of the given width (1..MaxWidth),
+// collecting per-wire and per-pair histograms alongside the Σ totals.
 func NewMeter(width int) *Meter {
+	m := NewMeterLite(width)
+	m.perWire = make([]uint64, width)
+	m.perPair = make([]uint64, width-1)
+	return m
+}
+
+// NewMeterLite returns a Meter that accumulates only the Σλ/Σψ totals.
+// WireTransitions and PairCouplings panic on a lite meter; everything
+// else behaves identically, at a fraction of the per-cycle cost.
+func NewMeterLite(width int) *Meter {
 	if width < 1 || width > MaxWidth {
 		panic(fmt.Sprintf("bus: invalid meter width %d", width))
 	}
-	pairs := width - 1
-	return &Meter{
-		width:   width,
-		perWire: make([]uint64, width),
-		perPair: make([]uint64, pairs),
-	}
+	return &Meter{width: width, mask: Mask(width), pairMask: Mask(width - 1)}
 }
 
 // Width returns the bus width the meter accounts for.
 func (m *Meter) Width() int { return m.width }
 
+// Detailed reports whether the meter collects per-wire and per-pair
+// histograms (NewMeter) or only Σ totals (NewMeterLite).
+func (m *Meter) Detailed() bool { return m.perWire != nil }
+
 // Record accounts one cycle in which the bus settles to state w.
 func (m *Meter) Record(w Word) {
-	w &= Mask(m.width)
+	w &= m.mask
 	if !m.started {
 		m.started = true
 		m.prev = w
 		m.cycles++
 		return
 	}
-	t := m.prev ^ w
-	if t != 0 {
-		m.transitions += uint64(TransitionCount(m.prev, w, m.width))
-		single, opposite := CouplingPairs(m.prev, w, m.width)
-		m.couplings += uint64(Weight(single)) + 2*uint64(Weight(opposite))
-		for n := 0; t != 0; n++ {
-			if t&1 != 0 {
-				m.perWire[n]++
-			}
-			t >>= 1
-		}
-		for n := 0; single != 0 || opposite != 0; n++ {
-			m.perPair[n] += uint64(single&1) + 2*uint64(opposite&1)
-			single >>= 1
-			opposite >>= 1
-		}
+	if t := m.prev ^ w; t != 0 {
+		m.account(m.prev, w, t)
 	}
 	m.prev = w
 	m.cycles++
+}
+
+// account folds one non-trivial transition into the statistics. prev and
+// cur are already masked and differ by t = prev^cur.
+func (m *Meter) account(prev, cur, t Word) {
+	m.transitions += uint64(bits.OnesCount64(uint64(t)))
+	// The eq. (3) pair classification of CouplingPairs, with the masks
+	// hoisted out of the per-cycle path.
+	rising := cur &^ prev
+	falling := prev &^ cur
+	single := (t ^ (t >> 1)) & m.pairMask
+	opposite := ((rising & (falling >> 1)) | (falling & (rising >> 1))) & m.pairMask
+	m.couplings += uint64(bits.OnesCount64(uint64(single))) + 2*uint64(bits.OnesCount64(uint64(opposite)))
+	if m.perWire == nil {
+		return
+	}
+	// Sparse histogram update: visit only the toggled wires and coupled
+	// pairs instead of shifting through every bit position below them.
+	for v := uint64(t); v != 0; v &= v - 1 {
+		m.perWire[bits.TrailingZeros64(v)]++
+	}
+	for v := uint64(single); v != 0; v &= v - 1 {
+		m.perPair[bits.TrailingZeros64(v)]++
+	}
+	for v := uint64(opposite); v != 0; v &= v - 1 {
+		m.perPair[bits.TrailingZeros64(v)] += 2
+	}
+}
+
+// RecordTrace accounts one cycle per element of trace, equivalent to
+// calling Record on each but without the per-cycle call and field-access
+// overhead — the batch fast path for measuring whole traces.
+func (m *Meter) RecordTrace(trace []Word) { recordAll(m, trace) }
+
+// RecordValues is RecordTrace for raw data-value streams ([]uint64), the
+// form workload traces arrive in; each value is masked to the bus width.
+func (m *Meter) RecordValues(values []uint64) { recordAll(m, values) }
+
+// recordAll is the shared batch recording core. Σ totals accumulate in
+// locals and flush once; histogram meters fall back to the per-cycle
+// account path only on cycles that actually moved wires.
+func recordAll[T ~uint64](m *Meter, vals []T) {
+	if len(vals) == 0 {
+		return
+	}
+	i := 0
+	if !m.started {
+		m.started = true
+		m.prev = Word(vals[0]) & m.mask
+		i = 1
+	}
+	prev, mask, pairMask := m.prev, m.mask, m.pairMask
+	var transitions, couplings uint64
+	if m.perWire == nil {
+		for _, raw := range vals[i:] {
+			w := Word(raw) & mask
+			t := prev ^ w
+			if t != 0 {
+				transitions += uint64(bits.OnesCount64(uint64(t)))
+				rising := w &^ prev
+				falling := prev &^ w
+				single := (t ^ (t >> 1)) & pairMask
+				opposite := ((rising & (falling >> 1)) | (falling & (rising >> 1))) & pairMask
+				couplings += uint64(bits.OnesCount64(uint64(single))) + 2*uint64(bits.OnesCount64(uint64(opposite)))
+			}
+			prev = w
+		}
+		m.transitions += transitions
+		m.couplings += couplings
+	} else {
+		for _, raw := range vals[i:] {
+			w := Word(raw) & mask
+			if t := prev ^ w; t != 0 {
+				m.account(prev, w, t)
+			}
+			prev = w
+		}
+	}
+	m.prev = prev
+	m.cycles += uint64(len(vals))
 }
 
 // Cycles returns the number of recorded cycles (including the first).
@@ -78,11 +163,22 @@ func (m *Meter) Transitions() uint64 { return m.transitions }
 // Couplings returns Σ_n ψ_n over the recorded trace.
 func (m *Meter) Couplings() uint64 { return m.couplings }
 
-// WireTransitions returns λ_n for wire n.
-func (m *Meter) WireTransitions(n int) uint64 { return m.perWire[n] }
+// WireTransitions returns λ_n for wire n. It panics on a lite meter.
+func (m *Meter) WireTransitions(n int) uint64 {
+	if m.perWire == nil {
+		panic("bus: WireTransitions on a lite meter (use NewMeter for histograms)")
+	}
+	return m.perWire[n]
+}
 
-// PairCouplings returns ψ_n for the adjacent pair (n, n+1).
-func (m *Meter) PairCouplings(n int) uint64 { return m.perPair[n] }
+// PairCouplings returns ψ_n for the adjacent pair (n, n+1). It panics on
+// a lite meter.
+func (m *Meter) PairCouplings(n int) uint64 {
+	if m.perPair == nil {
+		panic("bus: PairCouplings on a lite meter (use NewMeter for histograms)")
+	}
+	return m.perPair[n]
+}
 
 // Cost returns the Λ-weighted activity Σλ + Λ·Σψ of the recorded trace —
 // the quantity that, multiplied by the per-unit wire energy and the bus
@@ -123,8 +219,6 @@ func (m *Meter) Reset() {
 // and returns it. It is a convenience for one-shot accounting.
 func MeasureTrace(width int, trace []Word) *Meter {
 	m := NewMeter(width)
-	for _, w := range trace {
-		m.Record(w)
-	}
+	m.RecordTrace(trace)
 	return m
 }

@@ -1,0 +1,178 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// referenceRecord is the pre-optimization bit-serial accounting, kept as
+// the oracle the word-parallel fast path is differenced against.
+type referenceMeter struct {
+	width       int
+	prev        Word
+	started     bool
+	cycles      uint64
+	transitions uint64
+	couplings   uint64
+	perWire     []uint64
+	perPair     []uint64
+}
+
+func newReferenceMeter(width int) *referenceMeter {
+	return &referenceMeter{width: width, perWire: make([]uint64, width), perPair: make([]uint64, max(width-1, 0))}
+}
+
+func (m *referenceMeter) Record(w Word) {
+	w &= Mask(m.width)
+	if !m.started {
+		m.started = true
+		m.prev = w
+		m.cycles++
+		return
+	}
+	m.transitions += uint64(TransitionCount(m.prev, w, m.width))
+	single, opposite := CouplingPairs(m.prev, w, m.width)
+	m.couplings += uint64(Weight(single)) + 2*uint64(Weight(opposite))
+	t := m.prev ^ w
+	for n := 0; t != 0; n++ {
+		if t&1 != 0 {
+			m.perWire[n]++
+		}
+		t >>= 1
+	}
+	for n := 0; single != 0 || opposite != 0; n++ {
+		if single&1 != 0 {
+			m.perPair[n]++
+		}
+		if opposite&1 != 0 {
+			m.perPair[n] += 2
+		}
+		single >>= 1
+		opposite >>= 1
+	}
+	m.prev = w
+	m.cycles++
+}
+
+func randomTrace(t *testing.T, n, width int, seed int64) []Word {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Word, n)
+	for i := range out {
+		switch rng.Intn(4) {
+		case 0:
+			out[i] = Word(rng.Uint64()) & Mask(width)
+		case 1:
+			// sparse: one wire
+			out[i] = 1 << rng.Intn(width)
+		case 2:
+			if i > 0 {
+				out[i] = out[i-1] // quiet cycle
+			}
+		default:
+			out[i] = Word(rng.Uint64()>>32) & Mask(width)
+		}
+	}
+	return out
+}
+
+// TestMeterMatchesReference differences the optimized Record and the batch
+// paths against the bit-serial oracle on every statistic, across widths.
+func TestMeterMatchesReference(t *testing.T) {
+	for _, width := range []int{1, 2, 7, 31, 32, 33, 63, 64} {
+		trace := randomTrace(t, 2000, width, int64(width)*7919)
+		ref := newReferenceMeter(width)
+		rec := NewMeter(width)
+		batch := NewMeter(width)
+		lite := NewMeterLite(width)
+		for _, w := range trace {
+			ref.Record(w)
+			rec.Record(w)
+		}
+		batch.RecordTrace(trace)
+		lite.RecordTrace(trace)
+		for name, m := range map[string]*Meter{"Record": rec, "RecordTrace": batch, "lite": lite} {
+			if m.Cycles() != ref.cycles || m.Transitions() != ref.transitions || m.Couplings() != ref.couplings {
+				t.Fatalf("width %d %s: got (%d, %d, %d), reference (%d, %d, %d)",
+					width, name, m.Cycles(), m.Transitions(), m.Couplings(), ref.cycles, ref.transitions, ref.couplings)
+			}
+			if m.State() != ref.prev {
+				t.Fatalf("width %d %s: state %#x != reference %#x", width, name, m.State(), ref.prev)
+			}
+		}
+		for n := 0; n < width; n++ {
+			if got := rec.WireTransitions(n); got != ref.perWire[n] {
+				t.Fatalf("width %d wire %d: Record %d != reference %d", width, n, got, ref.perWire[n])
+			}
+			if got := batch.WireTransitions(n); got != ref.perWire[n] {
+				t.Fatalf("width %d wire %d: RecordTrace %d != reference %d", width, n, got, ref.perWire[n])
+			}
+		}
+		for n := 0; n < width-1; n++ {
+			if got := rec.PairCouplings(n); got != ref.perPair[n] {
+				t.Fatalf("width %d pair %d: Record %d != reference %d", width, n, got, ref.perPair[n])
+			}
+			if got := batch.PairCouplings(n); got != ref.perPair[n] {
+				t.Fatalf("width %d pair %d: RecordTrace %d != reference %d", width, n, got, ref.perPair[n])
+			}
+		}
+	}
+}
+
+// TestMeterRecordValuesMatchesRecordTrace covers the []uint64 alias path.
+func TestMeterRecordValuesMatchesRecordTrace(t *testing.T) {
+	trace := randomTrace(t, 500, 32, 99)
+	vals := make([]uint64, len(trace))
+	for i, w := range trace {
+		vals[i] = uint64(w) | 0xFF00000000000000 // high bits must be masked off
+	}
+	a := NewMeter(32)
+	b := NewMeter(32)
+	a.RecordTrace(trace)
+	b.RecordValues(vals)
+	if a.Transitions() != b.Transitions() || a.Couplings() != b.Couplings() || a.Cycles() != b.Cycles() {
+		t.Fatalf("RecordValues diverged: (%d,%d,%d) != (%d,%d,%d)",
+			b.Cycles(), b.Transitions(), b.Couplings(), a.Cycles(), a.Transitions(), a.Couplings())
+	}
+}
+
+// TestMeterLitePanics pins the contract that histogram accessors reject
+// lite meters loudly instead of returning zeros.
+func TestMeterLitePanics(t *testing.T) {
+	m := NewMeterLite(8)
+	m.Record(0)
+	m.Record(3)
+	for name, f := range map[string]func(){
+		"WireTransitions": func() { m.WireTransitions(0) },
+		"PairCouplings":   func() { m.PairCouplings(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on a lite meter did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestMeterRecordAllocs is the allocation regression guard for the
+// per-cycle and batch hot paths: 0 allocs/op.
+func TestMeterRecordAllocs(t *testing.T) {
+	trace := randomTrace(t, 256, 32, 7)
+	m := NewMeter(32)
+	i := 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		m.Record(trace[i&255])
+		i++
+	}); allocs != 0 {
+		t.Fatalf("Meter.Record allocates %v times per op, want 0", allocs)
+	}
+	lite := NewMeterLite(32)
+	if allocs := testing.AllocsPerRun(100, func() {
+		lite.RecordTrace(trace)
+	}); allocs != 0 {
+		t.Fatalf("Meter.RecordTrace allocates %v times per op, want 0", allocs)
+	}
+}

@@ -164,6 +164,19 @@ func (r Result) EnergyRemaining() float64 {
 	return r.CodedCost() / raw
 }
 
+// MeasureRawValues meters the un-encoded bus carrying the given data
+// values: power-up in the all-zero state, then one beat per value (masked
+// to the bus width). This is exactly the Raw meter Evaluate computes. The
+// raw measurement is Λ-independent (Λ enters only in Cost), so sweeps can
+// measure each (trace, width) once and share the meter across every
+// scheme and Λ via EvaluateShared.
+func MeasureRawValues(width int, trace []uint64) *bus.Meter {
+	m := bus.NewMeterLite(width)
+	m.Record(0)
+	m.RecordValues(trace)
+	return m
+}
+
 // Evaluate runs the transcoder over the trace, verifies that the decoder
 // reconstructs every value exactly, and returns activity meters for the
 // raw and coded buses computed with coupling ratio lambda.
@@ -171,36 +184,97 @@ func (r Result) EnergyRemaining() float64 {
 // It returns an error (never a silent wrong answer) if the decoder output
 // diverges from the encoder input at any cycle.
 func Evaluate(t Transcoder, trace []uint64, lambda float64) (Result, error) {
-	enc := t.NewEncoder()
-	dec := t.NewDecoder()
-	width := t.DataWidth()
-	mask := uint64(bus.Mask(width))
+	return EvaluateShared(t, trace, lambda, nil)
+}
 
-	raw := bus.NewMeter(width)
-	coded := bus.NewMeter(enc.BusWidth())
-	// Both buses power up in the all-zero state (the encoders' initial
-	// channel state), so the first value sent is charged like any other.
-	raw.Record(0)
-	coded.Record(0)
-	for i, v := range trace {
-		v &= mask
-		raw.Record(bus.Word(v))
-		w := enc.Encode(v)
-		got := dec.Decode(w)
-		if got != v {
-			return Result{}, fmt.Errorf("coding: %s decoder diverged at cycle %d: sent %#x, decoded %#x", t.Name(), i, v, got)
-		}
-		coded.Record(w)
+// EvaluateShared is Evaluate with an optional pre-measured raw-bus meter
+// (as from MeasureRawValues at t.DataWidth()), so sweeps that evaluate
+// many schemes over one trace measure the raw bus once instead of once
+// per scheme. Passing nil measures it here.
+func EvaluateShared(t Transcoder, trace []uint64, lambda float64, raw *bus.Meter) (Result, error) {
+	var ev Evaluator
+	ev.Use(t)
+	return ev.Evaluate(trace, lambda, raw)
+}
+
+// MustEvaluateShared is EvaluateShared but panics on error; for use in
+// experiments where divergence is a programming error.
+func MustEvaluateShared(t Transcoder, trace []uint64, lambda float64, raw *bus.Meter) Result {
+	res, err := EvaluateShared(t, trace, lambda, raw)
+	if err != nil {
+		panic(err)
 	}
+	return res
+}
+
+// Evaluator runs transcoder evaluations while reusing encoder/decoder
+// state (via Reset) and its coded-trace scratch buffer across calls, so a
+// sweep's inner loop allocates nothing per evaluation beyond what a
+// freshly built transcoder itself requires.
+type Evaluator struct {
+	t       Transcoder
+	enc     Encoder
+	dec     Decoder
+	width   int
+	mask    uint64
+	scratch []bus.Word
+}
+
+// Use selects the transcoder for subsequent Evaluate calls, constructing
+// a fresh encoder/decoder pair unless t is the one already in use.
+func (ev *Evaluator) Use(t Transcoder) {
+	if ev.t == t && ev.enc != nil {
+		return
+	}
+	ev.t = t
+	ev.enc = t.NewEncoder()
+	ev.dec = t.NewDecoder()
+	ev.width = t.DataWidth()
+	ev.mask = uint64(bus.Mask(ev.width))
+}
+
+// Evaluate runs the selected transcoder over the trace from its initial
+// state (the encoder/decoder are Reset, not reallocated). raw, when
+// non-nil, is a pre-measured raw-bus meter for this trace at the
+// transcoder's data width; nil measures it here.
+func (ev *Evaluator) Evaluate(trace []uint64, lambda float64, raw *bus.Meter) (Result, error) {
+	if ev.t == nil {
+		return Result{}, fmt.Errorf("coding: Evaluator has no transcoder (call Use first)")
+	}
+	ev.enc.Reset()
+	ev.dec.Reset()
+	if raw == nil {
+		raw = MeasureRawValues(ev.width, trace)
+	} else if raw.Width() != ev.width {
+		return Result{}, fmt.Errorf("coding: shared raw meter width %d != %s data width %d", raw.Width(), ev.t.Name(), ev.width)
+	}
+	buf := ev.scratch[:0]
+	if cap(buf) < len(trace) {
+		buf = make([]bus.Word, 0, len(trace))
+	}
+	for i, v := range trace {
+		v &= ev.mask
+		w := ev.enc.Encode(v)
+		if got := ev.dec.Decode(w); got != v {
+			return Result{}, fmt.Errorf("coding: %s decoder diverged at cycle %d: sent %#x, decoded %#x", ev.t.Name(), i, v, got)
+		}
+		buf = append(buf, w)
+	}
+	ev.scratch = buf
+	// The coded bus powers up in the all-zero state (the encoder's initial
+	// channel state), so the first word sent is charged like any other.
+	coded := bus.NewMeterLite(ev.enc.BusWidth())
+	coded.Record(0)
+	coded.RecordTrace(buf)
 	res := Result{
-		Scheme:     t.Name(),
-		DataWidth:  width,
-		CodedWidth: enc.BusWidth(),
+		Scheme:     ev.t.Name(),
+		DataWidth:  ev.width,
+		CodedWidth: ev.enc.BusWidth(),
 		Raw:        raw,
 		Coded:      coded,
 		Lambda:     lambda,
 	}
-	if or, ok := enc.(OpReporter); ok {
+	if or, ok := ev.enc.(OpReporter); ok {
 		res.Ops = or.Ops()
 	}
 	return res, nil

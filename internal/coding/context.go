@@ -2,6 +2,7 @@ package coding
 
 import (
 	"fmt"
+	"math/bits"
 
 	"buspower/internal/bus"
 )
@@ -29,8 +30,9 @@ import (
 // The paper finds value-based strictly better for equal hardware — there
 // are far more arcs than states — and carries value-based forward.
 type ContextTranscoder struct {
-	cfg ContextConfig
-	cb  *Codebook
+	cfg  ContextConfig
+	cb   *Codebook
+	name string
 }
 
 // ContextConfig parameterizes a Context-based transcoder.
@@ -73,17 +75,16 @@ func NewContext(cfg ContextConfig) (*ContextTranscoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ContextTranscoder{cfg: cfg, cb: cb}, nil
+	flavour := "value"
+	if cfg.TransitionBased {
+		flavour = "transition"
+	}
+	name := fmt.Sprintf("context-%s-t%d-s%d", flavour, cfg.TableSize, cfg.ShiftEntries)
+	return &ContextTranscoder{cfg: cfg, cb: cb, name: name}, nil
 }
 
 // Name implements Transcoder.
-func (t *ContextTranscoder) Name() string {
-	flavour := "value"
-	if t.cfg.TransitionBased {
-		flavour = "transition"
-	}
-	return fmt.Sprintf("context-%s-t%d-s%d", flavour, t.cfg.TableSize, t.cfg.ShiftEntries)
-}
+func (t *ContextTranscoder) Name() string { return t.name }
 
 // DataWidth implements Transcoder.
 func (t *ContextTranscoder) DataWidth() int { return t.cfg.Width }
@@ -120,8 +121,24 @@ type srEntry struct {
 	valid bool
 }
 
+// contextIndexMinEntries is the table (or shift register) size at which
+// the map-based reverse index starts beating the valid-and-compare linear
+// scan. It is a variable, not a constant, so tests can force either path
+// and compare them.
+var contextIndexMinEntries = 16
+
 // contextState is the complete shared FSM state; encoder and decoder each
 // own one and keep them identical by construction.
+//
+// Three acceleration structures shadow the arrays without changing
+// observable behavior. tableIndex/srIndex map key → slot for O(1) probes
+// (nil below contextIndexMinEntries); they hold exactly the valid
+// entries' keys, which Invariant 1 keeps unique. tableBytes/srBytes count
+// valid entries per low key byte so the modeled selective-precharge
+// full-match counts are O(1) per probe. pendingBits mirrors the table's
+// pending flags as a bitset so the per-cycle sort pass skips over
+// pending-free regions 64 entries at a time — on a converged dictionary
+// most cycles carry at most a bit or two.
 type contextState struct {
 	cfg    ContextConfig
 	table  []tableEntry
@@ -130,15 +147,29 @@ type contextState struct {
 	last   uint64
 	cycle  uint64
 
+	tableIndex  map[ctxKey]int
+	srIndex     map[ctxKey]int
+	tableBytes  [256]uint32
+	srBytes     [256]uint32
+	pendingBits []uint64
+
 	ops *OpStats // optional, set by the encoder
 }
 
 func newContextState(cfg ContextConfig) contextState {
-	return contextState{
-		cfg:   cfg,
-		table: make([]tableEntry, cfg.TableSize),
-		sr:    make([]srEntry, cfg.ShiftEntries),
+	s := contextState{
+		cfg:         cfg,
+		table:       make([]tableEntry, cfg.TableSize),
+		sr:          make([]srEntry, cfg.ShiftEntries),
+		pendingBits: make([]uint64, (cfg.TableSize+63)/64),
 	}
+	if cfg.TableSize >= contextIndexMinEntries {
+		s.tableIndex = make(map[ctxKey]int, cfg.TableSize)
+	}
+	if cfg.ShiftEntries >= contextIndexMinEntries {
+		s.srIndex = make(map[ctxKey]int, cfg.ShiftEntries)
+	}
+	return s
 }
 
 func (s *contextState) makeKey(v uint64) ctxKey {
@@ -146,6 +177,15 @@ func (s *contextState) makeKey(v uint64) ctxKey {
 		return ctxKey{prev: s.last, cur: v}
 	}
 	return ctxKey{cur: v}
+}
+
+// setPendingBit keeps the bitset in lockstep with table[i].pending.
+func (s *contextState) setPendingBit(i int, pending bool) {
+	if pending {
+		s.pendingBits[i>>6] |= 1 << (i & 63)
+	} else {
+		s.pendingBits[i>>6] &^= 1 << (i & 63)
+	}
 }
 
 // step advances the per-cycle machinery: counter division and one pass of
@@ -165,33 +205,40 @@ func (s *contextState) step() {
 	// entry either increments (safe: its upper neighbour's counter is
 	// strictly greater, or it is the top) or swaps one position upward
 	// (its upper neighbour's counter is equal, so order is preserved).
-	for e := 0; e < len(s.table); e++ {
-		if !s.table[e].pending {
-			continue
-		}
-		if s.ops != nil {
-			s.ops.CounterCompares++
-		}
-		switch {
-		case e == 0:
-			s.increment(e)
-		case !s.table[e-1].valid:
-			// Unoccupied slot above: rise past it unconditionally (real
-			// hardware has no empty slots; zero-count entries there would
-			// compare equal and be swapped through just the same).
-			s.swap(e)
-		case s.table[e].count < s.table[e-1].count:
-			s.increment(e)
-		case s.table[e].count > s.table[e-1].count:
-			// Ordering disturbed (can only arise transiently around
-			// unoccupied slots): restore it by rising.
-			s.swap(e)
-		case !s.table[e-1].pending:
-			s.swap(e)
-		default:
-			// Upper neighbour is pending with an equal counter: both will
-			// rise by increment; no swap needed to preserve the invariant.
-			s.increment(e)
+	//
+	// The pass iterates the pending bitset sparsely. This visits exactly
+	// the entries an ascending flag-checking scan would: processing entry
+	// e only mutates pending state at positions e-1 and e, never at a
+	// position the scan has yet to reach, so each position's pending flag
+	// at reach-time equals its value when the pass started.
+	for wi, word := range s.pendingBits {
+		for word != 0 {
+			e := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if s.ops != nil {
+				s.ops.CounterCompares++
+			}
+			switch {
+			case e == 0:
+				s.increment(e)
+			case !s.table[e-1].valid:
+				// Unoccupied slot above: rise past it unconditionally (real
+				// hardware has no empty slots; zero-count entries there would
+				// compare equal and be swapped through just the same).
+				s.swap(e)
+			case s.table[e].count < s.table[e-1].count:
+				s.increment(e)
+			case s.table[e].count > s.table[e-1].count:
+				// Ordering disturbed (can only arise transiently around
+				// unoccupied slots): restore it by rising.
+				s.swap(e)
+			case !s.table[e-1].pending:
+				s.swap(e)
+			default:
+				// Upper neighbour is pending with an equal counter: both will
+				// rise by increment; no swap needed to preserve the invariant.
+				s.increment(e)
+			}
 		}
 	}
 }
@@ -199,6 +246,16 @@ func (s *contextState) step() {
 // swap exchanges entry e with its upper neighbour.
 func (s *contextState) swap(e int) {
 	s.table[e], s.table[e-1] = s.table[e-1], s.table[e]
+	s.setPendingBit(e, s.table[e].pending)
+	s.setPendingBit(e-1, s.table[e-1].pending)
+	if s.tableIndex != nil {
+		if s.table[e].valid {
+			s.tableIndex[s.table[e].key] = e
+		}
+		if s.table[e-1].valid {
+			s.tableIndex[s.table[e-1].key] = e - 1
+		}
+	}
 	if s.ops != nil {
 		s.ops.Swaps++
 	}
@@ -209,13 +266,22 @@ func (s *contextState) increment(e int) {
 		s.table[e].count++
 	}
 	s.table[e].pending = false
+	s.setPendingBit(e, false)
 	if s.ops != nil {
 		s.ops.CounterIncrements++
 	}
 }
 
-// findTable returns the table slot holding key, or -1.
+// findTable returns the table slot holding key, or -1. The map and the
+// linear scan agree because the map holds exactly the valid entries, and
+// Invariant 1 makes valid keys unique.
 func (s *contextState) findTable(key ctxKey) int {
+	if s.tableIndex != nil {
+		if i, ok := s.tableIndex[key]; ok {
+			return i
+		}
+		return -1
+	}
 	for i := range s.table {
 		if s.table[i].valid && s.table[i].key == key {
 			return i
@@ -226,6 +292,12 @@ func (s *contextState) findTable(key ctxKey) int {
 
 // findSR returns the shift-register slot holding key, or -1.
 func (s *contextState) findSR(key ctxKey) int {
+	if s.srIndex != nil {
+		if i, ok := s.srIndex[key]; ok {
+			return i
+		}
+		return -1
+	}
 	for i := range s.sr {
 		if s.sr[i].valid && s.sr[i].key == key {
 			return i
@@ -242,6 +314,7 @@ func (s *contextState) update(v uint64) {
 		// A hit to an entry whose pending bit is already set is lost
 		// (§5.3.1 footnote) — correctness is unaffected, some counts are.
 		s.table[slot].pending = true
+		s.setPendingBit(slot, true)
 	} else if slot := s.findSR(key); slot >= 0 {
 		if s.sr[slot].count < counterMax {
 			s.sr[slot].count++
@@ -261,6 +334,16 @@ func (s *contextState) update(v uint64) {
 func (s *contextState) insertSR(key ctxKey) {
 	evicted := s.sr[s.srHead]
 	s.sr[s.srHead] = srEntry{key: key, count: 1, valid: true}
+	if evicted.valid {
+		s.srBytes[byte(evicted.key.cur)]--
+		if s.srIndex != nil {
+			delete(s.srIndex, evicted.key)
+		}
+	}
+	s.srBytes[byte(key.cur)]++
+	if s.srIndex != nil {
+		s.srIndex[key] = s.srHead
+	}
 	s.srHead++
 	if s.srHead == len(s.sr) {
 		s.srHead = 0
@@ -287,7 +370,19 @@ func (s *contextState) insertSR(key ctxKey) {
 				break
 			}
 		}
+		old := s.table[bottom]
+		if old.valid {
+			s.tableBytes[byte(old.key.cur)]--
+			if s.tableIndex != nil {
+				delete(s.tableIndex, old.key)
+			}
+		}
 		s.table[bottom] = tableEntry{key: evicted.key, count: count, valid: true}
+		s.setPendingBit(bottom, false)
+		s.tableBytes[byte(evicted.key.cur)]++
+		if s.tableIndex != nil {
+			s.tableIndex[evicted.key] = bottom
+		}
 		if s.ops != nil {
 			s.ops.TableWrites++
 		}
@@ -304,26 +399,85 @@ func (s *contextState) reset() {
 	s.srHead = 0
 	s.last = 0
 	s.cycle = 0
+	if s.tableIndex != nil {
+		clear(s.tableIndex)
+	}
+	if s.srIndex != nil {
+		clear(s.srIndex)
+	}
+	s.tableBytes = [256]uint32{}
+	s.srBytes = [256]uint32{}
+	for i := range s.pendingBits {
+		s.pendingBits[i] = 0
+	}
 }
 
-// checkInvariants verifies Invariants 1 and 2; used by tests.
+// checkInvariants verifies Invariants 1 and 2 plus the consistency of the
+// acceleration structures with the arrays they shadow; used by tests.
 func (s *contextState) checkInvariants() error {
 	seen := make(map[ctxKey]bool)
+	var tb, sb [256]uint32
 	for i, e := range s.table {
+		if e.pending != (s.pendingBits[i>>6]&(1<<(i&63)) != 0) {
+			return fmt.Errorf("pending bitset out of sync at slot %d", i)
+		}
 		if !e.valid {
 			continue
 		}
+		tb[byte(e.key.cur)]++
 		if seen[e.key] {
 			return fmt.Errorf("invariant 1 violated: duplicate table key %+v", e.key)
 		}
 		seen[e.key] = true
+		if s.tableIndex != nil {
+			if got, ok := s.tableIndex[e.key]; !ok || got != i {
+				return fmt.Errorf("table index out of sync for key %+v: got %d ok=%v want %d", e.key, got, ok, i)
+			}
+		}
 		if i > 0 && s.table[i-1].valid && e.count > s.table[i-1].count {
 			return fmt.Errorf("invariant 2 violated at slot %d: %d > %d", i, e.count, s.table[i-1].count)
 		}
 	}
-	for _, e := range s.sr {
-		if e.valid && seen[e.key] {
+	for i, e := range s.sr {
+		if !e.valid {
+			continue
+		}
+		sb[byte(e.key.cur)]++
+		if seen[e.key] {
 			return fmt.Errorf("invariant 1 violated: key %+v in both table and shift register", e.key)
+		}
+		if s.srIndex != nil {
+			if got, ok := s.srIndex[e.key]; !ok || got != i {
+				return fmt.Errorf("sr index out of sync for key %+v: got %d ok=%v want %d", e.key, got, ok, i)
+			}
+		}
+	}
+	if tb != s.tableBytes {
+		return fmt.Errorf("table byte histogram out of sync")
+	}
+	if sb != s.srBytes {
+		return fmt.Errorf("sr byte histogram out of sync")
+	}
+	if s.tableIndex != nil {
+		valid := 0
+		for _, e := range s.table {
+			if e.valid {
+				valid++
+			}
+		}
+		if len(s.tableIndex) != valid {
+			return fmt.Errorf("table index holds %d keys, want %d", len(s.tableIndex), valid)
+		}
+	}
+	if s.srIndex != nil {
+		valid := 0
+		for _, e := range s.sr {
+			if e.valid {
+				valid++
+			}
+		}
+		if len(s.srIndex) != valid {
+			return fmt.Errorf("sr index holds %d keys, want %d", len(s.srIndex), valid)
 		}
 	}
 	return nil
@@ -367,19 +521,12 @@ func (e *contextEncoder) Encode(v uint64) bus.Word {
 }
 
 // countProbes models the selective-precharge CAM probe across the
-// frequency table and shift register.
+// frequency table and shift register. The byte histograms keep the
+// modeled counts identical to scanning both arrays.
 func (e *contextEncoder) countProbes(key ctxKey) {
 	e.ops.PartialMatches += uint64(len(e.st.table) + len(e.st.sr))
-	for i := range e.st.table {
-		if e.st.table[i].valid && e.st.table[i].key.cur&0xFF == key.cur&0xFF {
-			e.ops.FullMatches++
-		}
-	}
-	for i := range e.st.sr {
-		if e.st.sr[i].valid && e.st.sr[i].key.cur&0xFF == key.cur&0xFF {
-			e.ops.FullMatches++
-		}
-	}
+	b := byte(key.cur)
+	e.ops.FullMatches += uint64(e.st.tableBytes[b]) + uint64(e.st.srBytes[b])
 }
 
 func (e *contextEncoder) BusWidth() int { return e.ch.busWidth() }

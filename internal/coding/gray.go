@@ -15,16 +15,17 @@ import (
 // it as an address-bus baseline alongside the workzone coder.
 type GrayTranscoder struct {
 	width int
+	name  string
 }
 
 // NewGray builds a Gray-code transcoder.
 func NewGray(width int) (*GrayTranscoder, error) {
 	checkWidth(width)
-	return &GrayTranscoder{width: width}, nil
+	return &GrayTranscoder{width: width, name: fmt.Sprintf("gray-%d", width)}, nil
 }
 
 // Name implements Transcoder.
-func (t *GrayTranscoder) Name() string { return fmt.Sprintf("gray-%d", t.width) }
+func (t *GrayTranscoder) Name() string { return t.name }
 
 // DataWidth implements Transcoder.
 func (t *GrayTranscoder) DataWidth() int { return t.width }

@@ -10,16 +10,17 @@ import (
 // bus of exactly DataWidth wires. Every experiment normalizes against it.
 type RawTranscoder struct {
 	width int
+	name  string
 }
 
 // NewRaw returns the identity transcoder for the given data width.
 func NewRaw(width int) *RawTranscoder {
 	checkWidth(width)
-	return &RawTranscoder{width: width}
+	return &RawTranscoder{width: width, name: fmt.Sprintf("raw-%d", width)}
 }
 
 // Name implements Transcoder.
-func (r *RawTranscoder) Name() string { return fmt.Sprintf("raw-%d", r.width) }
+func (r *RawTranscoder) Name() string { return r.name }
 
 // DataWidth implements Transcoder.
 func (r *RawTranscoder) DataWidth() int { return r.width }

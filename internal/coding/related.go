@@ -25,6 +25,7 @@ type PartialBusInvert struct {
 	groups        int
 	assumedLambda float64
 	bounds        []int // group g spans data bits [bounds[g], bounds[g+1])
+	name          string
 }
 
 // NewPartialBusInvert builds a partial bus-invert coder with the given
@@ -41,13 +42,17 @@ func NewPartialBusInvert(width, groups int, assumedLambda float64) (*PartialBusI
 	for g := 0; g <= groups; g++ {
 		bounds[g] = g * width / groups
 	}
-	return &PartialBusInvert{width: width, groups: groups, assumedLambda: assumedLambda, bounds: bounds}, nil
+	return &PartialBusInvert{
+		width:         width,
+		groups:        groups,
+		assumedLambda: assumedLambda,
+		bounds:        bounds,
+		name:          fmt.Sprintf("partial-businvert-%dg", groups),
+	}, nil
 }
 
 // Name implements Transcoder.
-func (t *PartialBusInvert) Name() string {
-	return fmt.Sprintf("partial-businvert-%dg", t.groups)
-}
+func (t *PartialBusInvert) Name() string { return t.name }
 
 // DataWidth implements Transcoder.
 func (t *PartialBusInvert) DataWidth() int { return t.width }
@@ -140,8 +145,9 @@ type WorkzoneConfig struct {
 // Wire layout: W data wires, the shared 2 control wires of the channel
 // protocol for raw escapes, then Z transition-coded zone wires.
 type WorkzoneTranscoder struct {
-	cfg WorkzoneConfig
-	cb  *Codebook
+	cfg  WorkzoneConfig
+	cb   *Codebook
+	name string
 }
 
 // NewWorkzone builds a workzone address coder.
@@ -161,13 +167,11 @@ func NewWorkzone(cfg WorkzoneConfig) (*WorkzoneTranscoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WorkzoneTranscoder{cfg: cfg, cb: cb}, nil
+	return &WorkzoneTranscoder{cfg: cfg, cb: cb, name: fmt.Sprintf("workzone-%dz", cfg.Zones)}, nil
 }
 
 // Name implements Transcoder.
-func (t *WorkzoneTranscoder) Name() string {
-	return fmt.Sprintf("workzone-%dz", t.cfg.Zones)
-}
+func (t *WorkzoneTranscoder) Name() string { return t.name }
 
 // DataWidth implements Transcoder.
 func (t *WorkzoneTranscoder) DataWidth() int { return t.cfg.Width }

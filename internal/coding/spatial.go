@@ -18,6 +18,7 @@ import (
 // test the scheme.
 type SpatialTranscoder struct {
 	width int
+	name  string
 }
 
 // NewSpatial returns a spatial transcoder for data widths 1..6.
@@ -25,11 +26,11 @@ func NewSpatial(width int) (*SpatialTranscoder, error) {
 	if width < 1 || width > 6 {
 		return nil, fmt.Errorf("coding: spatial coder width %d outside [1, 6] (needs 2^width wires)", width)
 	}
-	return &SpatialTranscoder{width: width}, nil
+	return &SpatialTranscoder{width: width, name: fmt.Sprintf("spatial-%d", width)}, nil
 }
 
 // Name implements Transcoder.
-func (s *SpatialTranscoder) Name() string { return fmt.Sprintf("spatial-%d", s.width) }
+func (s *SpatialTranscoder) Name() string { return s.name }
 
 // DataWidth implements Transcoder.
 func (s *SpatialTranscoder) DataWidth() int { return s.width }

@@ -22,6 +22,7 @@ type StrideTranscoder struct {
 	strides int
 	lambda  float64
 	cb      *Codebook
+	name    string
 }
 
 // NewStride builds a stride transcoder with predictors for intervals
@@ -36,11 +37,17 @@ func NewStride(width, strides int, lambda float64) (*StrideTranscoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &StrideTranscoder{width: width, strides: strides, lambda: lambda, cb: cb}, nil
+	return &StrideTranscoder{
+		width:   width,
+		strides: strides,
+		lambda:  lambda,
+		cb:      cb,
+		name:    fmt.Sprintf("stride-%d", strides),
+	}, nil
 }
 
 // Name implements Transcoder.
-func (t *StrideTranscoder) Name() string { return fmt.Sprintf("stride-%d", t.strides) }
+func (t *StrideTranscoder) Name() string { return t.name }
 
 // DataWidth implements Transcoder.
 func (t *StrideTranscoder) DataWidth() int { return t.width }

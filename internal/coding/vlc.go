@@ -203,6 +203,14 @@ func DecodeVLC(cfg VLCConfig, beats []bus.Word, values int) ([]uint64, error) {
 // EvaluateVLC encodes the trace, verifies exact reconstruction, and meters
 // both the raw bus and the variable-length bus.
 func EvaluateVLC(cfg VLCConfig, trace []uint64, lambda float64) (VLCResult, error) {
+	return EvaluateVLCShared(cfg, trace, lambda, nil)
+}
+
+// EvaluateVLCShared is EvaluateVLC with an optional pre-measured raw-bus
+// meter (as from MeasureRawValues at cfg.Width), so sweeps that evaluate
+// several coders over one trace measure the raw bus once. Passing nil
+// measures it here.
+func EvaluateVLCShared(cfg VLCConfig, trace []uint64, lambda float64, raw *bus.Meter) (VLCResult, error) {
 	beats, err := EncodeVLC(cfg, trace)
 	if err != nil {
 		return VLCResult{}, err
@@ -217,16 +225,14 @@ func EvaluateVLC(cfg VLCConfig, trace []uint64, lambda float64) (VLCResult, erro
 			return VLCResult{}, fmt.Errorf("coding: vlc diverged at value %d: %#x != %#x", i, decoded[i], trace[i]&mask)
 		}
 	}
-	raw := bus.NewMeter(cfg.Width)
-	raw.Record(0)
-	for _, v := range trace {
-		raw.Record(bus.Word(v & mask))
+	if raw == nil {
+		raw = MeasureRawValues(cfg.Width, trace)
+	} else if raw.Width() != cfg.Width {
+		return VLCResult{}, fmt.Errorf("coding: shared raw meter width %d != vlc width %d", raw.Width(), cfg.Width)
 	}
-	coded := bus.NewMeter(cfg.Width + 1)
+	coded := bus.NewMeterLite(cfg.Width + 1)
 	coded.Record(0)
-	for _, b := range beats {
-		coded.Record(b)
-	}
+	coded.RecordTrace(beats)
 	return VLCResult{
 		Values: len(trace),
 		Beats:  len(beats),

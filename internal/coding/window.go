@@ -22,6 +22,7 @@ type WindowTranscoder struct {
 	entries int
 	lambda  float64
 	cb      *Codebook
+	name    string
 }
 
 // NewWindow builds a window transcoder with the given number of shift
@@ -36,11 +37,17 @@ func NewWindow(width, entries int, lambda float64) (*WindowTranscoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WindowTranscoder{width: width, entries: entries, lambda: lambda, cb: cb}, nil
+	return &WindowTranscoder{
+		width:   width,
+		entries: entries,
+		lambda:  lambda,
+		cb:      cb,
+		name:    fmt.Sprintf("window-%d", entries),
+	}, nil
 }
 
 // Name implements Transcoder.
-func (t *WindowTranscoder) Name() string { return fmt.Sprintf("window-%d", t.entries) }
+func (t *WindowTranscoder) Name() string { return t.name }
 
 // DataWidth implements Transcoder.
 func (t *WindowTranscoder) DataWidth() int { return t.width }
@@ -58,24 +65,63 @@ func (t *WindowTranscoder) NewDecoder() Decoder {
 	return &windowDecoder{t: t, st: newWindowState(t.entries), ch: newDecodeChannel(t.width)}
 }
 
+// windowIndexMinEntries is the register size at which the map-based
+// reverse index starts beating the linear scan. Small registers (and the
+// VLC extension's ≤14-entry ones) stay on the scan, which is faster for a
+// handful of words and allocates nothing. It is a variable, not a
+// constant, so tests can force either path and compare them.
+var windowIndexMinEntries = 24
+
 // windowState is the dictionary shared (by construction) between encoder
 // and decoder: a pointer-based ring of entries plus the last input value.
+//
+// Two acceleration structures ride along without changing observable
+// behavior. index maps value → physical slot for O(1) find on large
+// registers (nil below windowIndexMinEntries). Its invariant relies on
+// entries being unique: values are only inserted on a miss. The one
+// duplicate case is the initial all-zero fill — while any of those fresh
+// zeros remain (tracked by fresh), the slots [head, n) all hold zero and
+// the lowest is head itself, so find(0) = head without consulting the map,
+// and 0 can never be *inserted* during that phase (it would have hit).
+//
+// byteCount[b] counts entries whose low probe byte is b, so the modeled
+// selective-precharge full-match count (§5.3.3) is O(1) per probe instead
+// of a scan over the register.
 type windowState struct {
-	entries []uint64
-	head    int // next slot to overwrite (the oldest entry)
-	last    uint64
+	entries   []uint64
+	head      int // next slot to overwrite (the oldest entry)
+	last      uint64
+	index     map[uint64]int
+	fresh     int // initial zero-filled slots not yet overwritten
+	byteCount [256]uint32
 }
 
 func newWindowState(n int) windowState {
-	return windowState{entries: make([]uint64, n)}
+	s := windowState{entries: make([]uint64, n), fresh: n}
+	if n >= windowIndexMinEntries {
+		s.index = make(map[uint64]int, n)
+	}
+	s.byteCount[0] = uint32(n)
+	return s
 }
 
-// find returns the physical slot holding v, or -1.
+// find returns the physical slot holding v, or -1. With the index it is
+// O(1); the linear scan returns the first match, which the index
+// reproduces because entries are unique (see windowState).
 func (s *windowState) find(v uint64) int {
-	for i, e := range s.entries {
-		if e == v {
-			return i
+	if s.index == nil {
+		for i, e := range s.entries {
+			if e == v {
+				return i
+			}
 		}
+		return -1
+	}
+	if v == 0 && s.fresh > 0 {
+		return s.head
+	}
+	if slot, ok := s.index[v]; ok {
+		return slot
 	}
 	return -1
 }
@@ -83,7 +129,18 @@ func (s *windowState) find(v uint64) int {
 // insert overwrites the oldest entry with v (pointer-based shift: only one
 // entry's bits change).
 func (s *windowState) insert(v uint64) {
+	evicted := s.entries[s.head]
 	s.entries[s.head] = v
+	s.byteCount[evicted&0xFF]--
+	s.byteCount[v&0xFF]++
+	if s.index != nil {
+		if s.fresh > 0 {
+			s.fresh-- // evicting one of the initial zeros, which the map never held
+		} else {
+			delete(s.index, evicted)
+		}
+		s.index[v] = s.head
+	}
 	s.head++
 	if s.head == len(s.entries) {
 		s.head = 0
@@ -96,6 +153,12 @@ func (s *windowState) reset() {
 	}
 	s.head = 0
 	s.last = 0
+	s.fresh = len(s.entries)
+	if s.index != nil {
+		clear(s.index)
+	}
+	s.byteCount = [256]uint32{}
+	s.byteCount[0] = uint32(len(s.entries))
 }
 
 type windowEncoder struct {
@@ -132,14 +195,11 @@ func (e *windowEncoder) Encode(v uint64) bus.Word {
 
 // countProbes models the selective-precharge CAM probe of §5.3.3: every
 // entry compares its low 8 bits; only entries passing that partial match
-// charge the comparators of the remaining bits.
+// charge the comparators of the remaining bits. The byte histogram keeps
+// the modeled counts identical to scanning the register.
 func (e *windowEncoder) countProbes(v uint64) {
 	e.ops.PartialMatches += uint64(len(e.st.entries))
-	for _, entry := range e.st.entries {
-		if entry&0xFF == v&0xFF {
-			e.ops.FullMatches++
-		}
-	}
+	e.ops.FullMatches += uint64(e.st.byteCount[v&0xFF])
 }
 
 func (e *windowEncoder) BusWidth() int { return e.ch.busWidth() }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"buspower/internal/bus"
 	"buspower/internal/coding"
 	"buspower/internal/workload"
 )
@@ -32,9 +33,12 @@ func init() {
 }
 
 // removedPercent evaluates a transcoder on a trace and returns the
-// percentage of Λ-weighted energy removed.
-func removedPercent(tc coding.Transcoder, trace []uint64, lambda float64) (float64, error) {
-	res, err := coding.Evaluate(tc, trace, lambda)
+// percentage of Λ-weighted energy removed. ev carries reusable
+// encoder/decoder scratch across a sweep's inner loop; raw is the
+// trace's shared raw-bus meter (nil to measure here).
+func removedPercent(ev *coding.Evaluator, tc coding.Transcoder, trace []uint64, lambda float64, raw *bus.Meter) (float64, error) {
+	ev.Use(tc)
+	res, err := ev.Evaluate(trace, lambda, raw)
 	if err != nil {
 		return 0, err
 	}
@@ -45,7 +49,7 @@ func removedPercent(tc coding.Transcoder, trace []uint64, lambda float64) (float
 // and a parameter axis, emitting one row per (source, parameter). Sources
 // are evaluated concurrently when the engine is attached; row order is
 // the serial traversal's regardless.
-func sweepRows(t *Table, bus string, cfg Config, params []int, includeRandom bool,
+func sweepRows(t *Table, busName string, cfg Config, params []int, includeRandom bool,
 	build func(param int) (coding.Transcoder, error)) error {
 	sources := workload.Names()
 	if includeRandom {
@@ -58,21 +62,28 @@ func sweepRows(t *Table, bus string, cfg Config, params []int, includeRandom boo
 	return gatherRows(t, cfg, len(sources), func(i int, out *Table) error {
 		src := sources[i]
 		var tr []uint64
+		var raw *bus.Meter
 		var err error
 		if src == "random" {
 			tr = workload.RandomTrace(n, randomSeed)
+			raw = randomRawMeter(n)
 		} else {
-			tr, err = busTrace(src, bus, cfg)
+			tr, err = busTrace(src, busName, cfg)
+			if err != nil {
+				return err
+			}
+			raw, err = rawMeterFor(src, busName, cfg)
 			if err != nil {
 				return err
 			}
 		}
+		var ev coding.Evaluator
 		for _, p := range params {
 			tc, err := build(p)
 			if err != nil {
 				return err
 			}
-			pct, err := removedPercent(tc, tr, evalLambda)
+			pct, err := removedPercent(&ev, tc, tr, evalLambda, raw)
 			if err != nil {
 				return err
 			}
@@ -158,6 +169,11 @@ func runFig24(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
+		raw, err := rawMeterFor(name, "reg", cfg)
+		if err != nil {
+			return err
+		}
+		var ev coding.Evaluator
 		for _, tbl := range []int{16, 64} {
 			for _, sr := range srSizes {
 				ctx, err := coding.NewContext(coding.ContextConfig{
@@ -167,7 +183,7 @@ func runFig24(cfg Config) (*Table, error) {
 				if err != nil {
 					return err
 				}
-				pct, err := removedPercent(ctx, tr, evalLambda)
+				pct, err := removedPercent(&ev, ctx, tr, evalLambda, raw)
 				if err != nil {
 					return err
 				}
@@ -195,6 +211,11 @@ func runFig25(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
+		raw, err := rawMeterFor(name, "reg", cfg)
+		if err != nil {
+			return err
+		}
+		var ev coding.Evaluator
 		for _, tbl := range []int{16, 64} {
 			for _, period := range periods {
 				ctx, err := coding.NewContext(coding.ContextConfig{
@@ -204,7 +225,7 @@ func runFig25(cfg Config) (*Table, error) {
 				if err != nil {
 					return err
 				}
-				pct, err := removedPercent(ctx, tr, evalLambda)
+				pct, err := removedPercent(&ev, ctx, tr, evalLambda, raw)
 				if err != nil {
 					return err
 				}
@@ -244,17 +265,25 @@ func runFig15(cfg Config) (*Table, error) {
 	err = gatherRows(t, cfg, len(sources), func(i int, out *Table) error {
 		src := sources[i]
 		var traces [][]uint64
+		var raws []*bus.Meter
 		if src.bus == "" {
 			traces = [][]uint64{workload.RandomTrace(n, randomSeed)}
+			raws = []*bus.Meter{randomRawMeter(n)}
 		} else {
 			for _, b := range fig7Benchmarks {
 				tr, err := busTrace(b, src.bus, cfg)
 				if err != nil {
 					return err
 				}
+				raw, err := rawMeterFor(b, src.bus, cfg)
+				if err != nil {
+					return err
+				}
 				traces = append(traces, tr)
+				raws = append(raws, raw)
 			}
 		}
+		var ev coding.Evaluator
 		for _, variant := range []struct {
 			label   string
 			assumed func(actual float64) float64
@@ -268,9 +297,10 @@ func runFig15(cfg Config) (*Table, error) {
 				if err != nil {
 					return err
 				}
+				ev.Use(inv)
 				sum := 0.0
-				for _, tr := range traces {
-					res, err := coding.Evaluate(inv, tr, actual)
+				for j, tr := range traces {
+					res, err := ev.Evaluate(tr, actual, raws[j])
 					if err != nil {
 						return err
 					}

@@ -70,11 +70,15 @@ func evaluateWindow(name, bus string, entries int, cfg Config) (coding.Result, e
 	if err != nil {
 		return coding.Result{}, err
 	}
+	raw, err := rawMeterFor(name, bus, cfg)
+	if err != nil {
+		return coding.Result{}, err
+	}
 	win, err := coding.NewWindow(busWidth, entries, evalLambda)
 	if err != nil {
 		return coding.Result{}, err
 	}
-	return coding.Evaluate(win, tr, evalLambda)
+	return coding.EvaluateShared(win, tr, evalLambda, raw)
 }
 
 func runFig26(cfg Config) (*Table, error) {
@@ -95,17 +99,23 @@ func runFig26(cfg Config) (*Table, error) {
 		contextTables = []int{8, 24}
 	}
 	avgBudget := func(build func() (coding.Transcoder, error), length float64) (float64, error) {
+		tc, err := build()
+		if err != nil {
+			return 0, err
+		}
+		var ev coding.Evaluator
+		ev.Use(tc)
 		sum := 0.0
 		for _, name := range names {
 			tr, err := busTrace(name, "reg", cfg)
 			if err != nil {
 				return 0, err
 			}
-			tc, err := build()
+			raw, err := rawMeterFor(name, "reg", cfg)
 			if err != nil {
 				return 0, err
 			}
-			res, err := coding.Evaluate(tc, tr, evalLambda)
+			res, err := ev.Evaluate(tr, evalLambda, raw)
 			if err != nil {
 				return 0, err
 			}

@@ -88,17 +88,23 @@ func runExtCtx(cfg Config) (*Table, error) {
 	}
 	err := gatherRows(t, cfg, len(units), func(i int, out *Table) error {
 		tech, d := units[i].tech, units[i].d
+		tc, err := d.build()
+		if err != nil {
+			return err
+		}
+		var ev coding.Evaluator
+		ev.Use(tc)
 		var savings, xovers []float64
 		for _, name := range names {
 			tr, err := busTrace(name, "reg", cfg)
 			if err != nil {
 				return err
 			}
-			tc, err := d.build()
+			raw, err := rawMeterFor(name, "reg", cfg)
 			if err != nil {
 				return err
 			}
-			res, err := coding.Evaluate(tc, tr, evalLambda)
+			res, err := ev.Evaluate(tr, evalLambda, raw)
 			if err != nil {
 				return err
 			}
@@ -180,7 +186,11 @@ func runExtVLC(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		vlc, err := coding.EvaluateVLC(coding.VLCConfig{Width: busWidth, Entries: 14, Lambda: evalLambda}, tr, evalLambda)
+		raw, err := rawMeterFor(name, "reg", cfg)
+		if err != nil {
+			return err
+		}
+		vlc, err := coding.EvaluateVLCShared(coding.VLCConfig{Width: busWidth, Entries: 14, Lambda: evalLambda}, tr, evalLambda, raw)
 		if err != nil {
 			return err
 		}
@@ -188,7 +198,7 @@ func runExtVLC(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		fixed, err := coding.Evaluate(win, tr, evalLambda)
+		fixed, err := coding.EvaluateShared(win, tr, evalLambda, raw)
 		if err != nil {
 			return err
 		}
@@ -227,12 +237,17 @@ func runExtAddr(cfg Config) (*Table, error) {
 		if len(tr) < 100 {
 			return nil
 		}
+		raw, err := rawMeterFor(name, "addr", cfg)
+		if err != nil {
+			return err
+		}
+		var ev coding.Evaluator
 		for _, build := range builders {
 			tc, err := build()
 			if err != nil {
 				return err
 			}
-			pct, err := removedPercent(tc, tr, evalLambda)
+			pct, err := removedPercent(&ev, tc, tr, evalLambda, raw)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"sync"
+
+	"buspower/internal/bus"
+	"buspower/internal/coding"
+	"buspower/internal/workload"
+)
+
+// The raw-bus measurement of a (source, bus) pair is identical for every
+// scheme and Λ a sweep evaluates on it (Λ enters only when the meter is
+// read), so the runners share one Σ-only meter per pair through this
+// single-flight memo instead of re-metering the trace once per scheme.
+// Like workload.Traces, concurrent callers for the same key measure once
+// and share the result.
+type rawMeterKey struct {
+	name string
+	bus  string
+	n    int // random-trace length; 0 for workload buses
+	run  workload.RunConfig
+}
+
+type rawMeterEntry struct {
+	ready chan struct{}
+	m     *bus.Meter
+	err   error
+}
+
+var (
+	rawMeterMu    sync.Mutex
+	rawMeterMemo  = map[rawMeterKey]*rawMeterEntry{}
+	rawMeterLimit = 128
+)
+
+func rawMeterMemoized(key rawMeterKey, measure func() (*bus.Meter, error)) (*bus.Meter, error) {
+	rawMeterMu.Lock()
+	e, ok := rawMeterMemo[key]
+	if ok {
+		rawMeterMu.Unlock()
+		<-e.ready
+		return e.m, e.err
+	}
+	e = &rawMeterEntry{ready: make(chan struct{})}
+	if len(rawMeterMemo) > rawMeterLimit {
+		rawMeterMemo = map[rawMeterKey]*rawMeterEntry{}
+	}
+	rawMeterMemo[key] = e
+	rawMeterMu.Unlock()
+	e.m, e.err = measure()
+	close(e.ready)
+	return e.m, e.err
+}
+
+// rawMeterFor returns the shared raw-bus meter of one workload bus at the
+// experiments' data width.
+func rawMeterFor(name, busName string, cfg Config) (*bus.Meter, error) {
+	return rawMeterMemoized(rawMeterKey{name: name, bus: busName, run: cfg.Run}, func() (*bus.Meter, error) {
+		tr, err := busTrace(name, busName, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return coding.MeasureRawValues(busWidth, tr), nil
+	})
+}
+
+// randomRawMeter returns the shared raw-bus meter of the n-value random
+// comparison trace (randomSeed is fixed, so n fully identifies it).
+func randomRawMeter(n int) *bus.Meter {
+	m, _ := rawMeterMemoized(rawMeterKey{name: "random", n: n}, func() (*bus.Meter, error) {
+		return coding.MeasureRawValues(busWidth, workload.RandomTrace(n, randomSeed)), nil
+	})
+	return m
+}
