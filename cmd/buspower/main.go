@@ -7,7 +7,8 @@
 //	buspower -exp table3
 //	buspower -exp fig15,fig16 -quick
 //	buspower -exp all -o results/ -jobs 8 -v
-//	buspower bench -quick -out results/BENCH_PR2.json
+//	buspower -exp all -trace-cache /tmp/traces
+//	buspower bench -quick -out results/BENCH_PR3.json
 //
 // Experiments run concurrently on a bounded worker pool (-jobs, default
 // GOMAXPROCS) with deterministic output: the printed TSVs are
@@ -15,6 +16,13 @@
 // prints (or writes) a TSV table whose series correspond to the paper's
 // artifact; see DESIGN.md for the per-experiment index and EXPERIMENTS.md
 // for paper-vs-measured numbers.
+//
+// Simulated traces are cached twice: in memory within one run, and in a
+// persistent content-addressed directory across runs (default:
+// os.UserCacheDir()/buspower/traces; override with -trace-cache, disable
+// with -no-disk-cache). Cache keys hash the program text, the core
+// configuration, the run bounds and the container format version, so a
+// stale entry can never be served.
 //
 // The bench subcommand runs the kernel micro-benchmarks and an
 // end-to-end quick regeneration, writing a JSON report comparable across
@@ -101,7 +109,7 @@ func runBench(args []string) error {
 	var (
 		quick    = fs.Bool("quick", false, "short per-kernel benchmark budget (CI smoke)")
 		skipE2E  = fs.Bool("skip-e2e", false, "skip the end-to-end -exp all -quick timing")
-		out      = fs.String("out", "results/BENCH_PR2.json", "write the JSON report to this file ('-' for stdout)")
+		out      = fs.String("out", "results/BENCH_PR3.json", "write the JSON report to this file ('-' for stdout)")
 		baseline = fs.String("baseline", "", "previous report to embed baseline numbers and speedups from")
 		quiet    = fs.Bool("q", false, "suppress per-kernel progress on stderr")
 	)
@@ -162,6 +170,8 @@ func run() error {
 		outDir    = flag.String("o", "", "write one <id>.tsv per experiment into this directory instead of stdout")
 		verbose   = flag.Bool("v", false, "print per-experiment progress, wall times and trace-cache stats to stderr")
 		reportOut = flag.String("report", "", "write a Markdown self-check report (paper vs measured) to this file ('-' for stdout)")
+		cacheDir  = flag.String("trace-cache", "", "persistent trace cache directory (default: the per-user cache dir)")
+		noDisk    = flag.Bool("no-disk-cache", false, "disable the persistent trace cache for this run")
 	)
 	startProfiles := profileFlags(flag.CommandLine)
 	flag.Parse()
@@ -174,6 +184,21 @@ func run() error {
 			fmt.Fprintln(os.Stderr, "buspower: profile:", err)
 		}
 	}()
+
+	// The persistent trace cache is on by default: simulation output is
+	// deterministic in its content-addressed key, so reuse is always
+	// sound. An unusable directory degrades to memory-only caching.
+	if !*noDisk {
+		dir := *cacheDir
+		if dir == "" {
+			dir = workload.DefaultTraceCacheDir()
+		}
+		if dir != "" {
+			if _, err := workload.SetTraceCacheDir(dir); err != nil {
+				fmt.Fprintf(os.Stderr, "buspower: disk trace cache disabled: %v\n", err)
+			}
+		}
+	}
 
 	if *list {
 		titles := experiments.Titles()
@@ -251,8 +276,12 @@ func run() error {
 	}
 	tables, err := experiments.RunAll(ctx, cfg, ids, opts)
 	if *verbose {
-		hits, misses := workload.TraceCacheStats()
-		fmt.Fprintf(os.Stderr, "trace cache: %d hits, %d misses (simulations)\n", hits, misses)
+		s := workload.Stats()
+		fmt.Fprintf(os.Stderr, "trace cache: memory %d hits / %d misses", s.MemHits, s.MemMisses)
+		if dir := workload.TraceCacheDir(); dir != "" {
+			fmt.Fprintf(os.Stderr, "; disk %d hits / %d misses (%d errors) in %s", s.DiskHits, s.DiskMisses, s.DiskErrors, dir)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 	if err != nil {
 		return err

@@ -1,8 +1,12 @@
 package bench
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"flag"
+	"io"
+	"os"
 	"testing"
 	"time"
 
@@ -11,10 +15,13 @@ import (
 	"buspower/internal/cpu"
 	"buspower/internal/experiments"
 	"buspower/internal/stats"
+	"buspower/internal/trace"
 	"buspower/internal/workload"
 )
 
 func flagSet(name, value string) error { return flag.Set(name, value) }
+
+var errDiskCacheCold = errors.New("bench: disk-warm pass had zero disk cache hits")
 
 // Kernel is one named micro-benchmark of a pipeline hot path.
 type Kernel struct {
@@ -36,6 +43,10 @@ func Kernels() []Kernel {
 		{"Context.Encode/128", benchContextEncode(128)},
 		{"Coding.EvaluateSweep/window", benchEvaluateSweep},
 		{"CPU.Simulate/li-50k", benchSimulate},
+		{"Trace.Write/120k", benchTraceWrite},
+		{"Trace.Read/120k", benchTraceRead},
+		{"Container.Write/3x120k", benchContainerWrite},
+		{"Container.Read/3x120k", benchContainerRead},
 	}
 }
 
@@ -221,34 +232,153 @@ func benchSimulate(b *testing.B) {
 	}
 }
 
+// benchTraceSize matches DefaultRunConfig's per-bus trace length, so the
+// serialization kernels measure the payload the cache actually moves.
+const benchTraceSize = 120_000
+
+func benchTraceValues(n int) []uint64 {
+	rng := stats.NewRNG(7)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64() & 0xFFFFFFFF
+	}
+	return out
+}
+
+func benchTraceWrite(b *testing.B) {
+	tr := &trace.Trace{Name: "bench/reg", Width: 32, Values: benchTraceValues(benchTraceSize)}
+	b.SetBytes(int64(len(tr.Values)) * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Write(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTraceRead(b *testing.B) {
+	tr := &trace.Trace{Name: "bench/reg", Width: 32, Values: benchTraceValues(benchTraceSize)}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchContainer mirrors one disk-cache entry: three bus sections at the
+// full default trace length.
+func benchContainer() *trace.Container {
+	return &trace.Container{
+		Name: "bench",
+		Meta: []byte(`{"instructions":1500000,"cycles":2000000}`),
+		Sections: []trace.Section{
+			{Name: "reg", Width: 32, Values: benchTraceValues(benchTraceSize)},
+			{Name: "mem", Width: 32, Values: benchTraceValues(benchTraceSize)},
+			{Name: "addr", Width: 32, Values: benchTraceValues(benchTraceSize)},
+		},
+	}
+}
+
+func benchContainerWrite(b *testing.B) {
+	c := benchContainer()
+	b.SetBytes(3 * benchTraceSize * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Write(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchContainerRead(b *testing.B) {
+	c := benchContainer()
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadContainer(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // runE2E times one full quick-scale regeneration of every artifact through
-// the parallel engine: cold (trace cache emptied first, so CPU simulation
-// is included) and warm (sweep kernels only — the cost repeated reruns
-// actually pay).
+// the parallel engine in four states: cold (no caches — CPU simulation
+// included), warm (in-memory traces — the cost repeated reruns in one
+// process pay), disk-cold (an empty persistent cache directory being
+// populated), and disk-warm (memory cache emptied but the directory kept —
+// the cost a fresh process with a shipped cache dir pays).
 func runE2E() (*E2EResult, error) {
 	cfg := experiments.QuickConfig()
 	ids, err := experiments.ResolveIDs("all")
 	if err != nil {
 		return nil, err
 	}
+	runAll := func() (int, time.Duration, error) {
+		start := time.Now()
+		tables, err := experiments.RunAll(context.Background(), cfg, ids, experiments.Options{})
+		return len(tables), time.Since(start), err
+	}
 	workload.ClearTraceCache()
-	start := time.Now()
-	tables, err := experiments.RunAll(context.Background(), cfg, ids, experiments.Options{})
+	tables, cold, err := runAll()
 	if err != nil {
 		return nil, err
 	}
-	cold := time.Since(start)
-	start = time.Now()
-	if _, err := experiments.RunAll(context.Background(), cfg, ids, experiments.Options{}); err != nil {
+	_, warm, err := runAll()
+	if err != nil {
 		return nil, err
 	}
-	warm := time.Since(start)
+
+	// Disk phases run against a throwaway cache directory so the harness
+	// never measures (or pollutes) a user's real cache.
+	dir, err := os.MkdirTemp("", "buspower-bench-cache-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	prevDir, err := workload.SetTraceCacheDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer workload.SetTraceCacheDir(prevDir)
+	workload.ClearTraceCache()
+	_, diskCold, err := runAll()
+	if err != nil {
+		return nil, err
+	}
+	workload.ClearTraceCache() // memory only; the .trc files persist
+	_, diskWarm, err := runAll()
+	if err != nil {
+		return nil, err
+	}
+	if s := workload.Stats(); s.DiskHits == 0 {
+		// The warm pass was supposed to be served from disk; a zero here
+		// means the cache is broken and the timing is a lie.
+		return nil, errDiskCacheCold
+	}
 	return &E2EResult{
-		IDs:    "all",
-		Config: "quick",
-		Jobs:   0,
-		Tables: len(tables),
-		ColdMS: float64(cold.Microseconds()) / 1000,
-		WarmMS: float64(warm.Microseconds()) / 1000,
+		IDs:        "all",
+		Config:     "quick",
+		Jobs:       0,
+		Tables:     tables,
+		ColdMS:     float64(cold.Microseconds()) / 1000,
+		WarmMS:     float64(warm.Microseconds()) / 1000,
+		DiskColdMS: float64(diskCold.Microseconds()) / 1000,
+		DiskWarmMS: float64(diskWarm.Microseconds()) / 1000,
 	}, nil
 }

@@ -6,12 +6,17 @@ import "fmt"
 // L1 data cache and the unified L2 of the timing model. Only tags are
 // tracked — data lives in the functional memory — since the timing model
 // needs hit/miss outcomes and the memory-bus generator needs fill events.
+//
+// Lines are stored in one flat set-major array (lines[set*ways+way]) so a
+// set probe touches one contiguous cache-friendly block instead of chasing
+// a per-set slice header.
 type Cache struct {
 	name      string
 	sets      int
 	ways      int
 	lineShift uint
-	lines     [][]cacheLine // [set][way]
+	setMask   uint32
+	lines     []cacheLine // sets*ways, set-major
 
 	// Statistics.
 	Accesses  uint64
@@ -43,11 +48,14 @@ func NewCache(name string, size, ways, lineSize int) *Cache {
 	for 1<<shift < lineSize {
 		shift++
 	}
-	lines := make([][]cacheLine, sets)
-	for i := range lines {
-		lines[i] = make([]cacheLine, ways)
+	return &Cache{
+		name:      name,
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		setMask:   uint32(sets - 1),
+		lines:     make([]cacheLine, sets*ways),
 	}
-	return &Cache{name: name, sets: sets, ways: ways, lineShift: shift, lines: lines}
 }
 
 // AccessResult describes one cache access.
@@ -64,11 +72,11 @@ type AccessResult struct {
 func (c *Cache) Access(addr uint32, isWrite bool) AccessResult {
 	c.Accesses++
 	lineAddr := addr >> c.lineShift
-	set := int(lineAddr) & (c.sets - 1)
+	set := int(lineAddr & c.setMask)
 	tag := lineAddr // full line address as tag (set bits redundant but harmless)
-	ways := c.lines[set]
+	ways := c.lines[set*c.ways : set*c.ways+c.ways]
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+		if ways[i].tag == tag && ways[i].valid {
 			ways[i].lru = c.Accesses
 			if isWrite {
 				ways[i].dirty = true

@@ -69,23 +69,33 @@ func (c *Core) Retired() uint64 { return c.retired }
 
 // Step executes one instruction and reports what happened.
 func (c *Core) Step() StepInfo {
+	var info StepInfo
+	c.StepInto(&info)
+	return info
+}
+
+// StepInto is Step without the StepInfo return copy: the caller provides
+// the (reused) info struct. This is the timing model's per-instruction
+// entry point.
+func (c *Core) StepInto(info *StepInfo) {
 	if c.halted {
-		return StepInfo{Halted: true, Index: c.PC}
+		*info = StepInfo{Halted: true, Index: c.PC}
+		return
 	}
 	if c.PC < 0 || int(c.PC) >= len(c.prog.Instrs) {
 		c.halted = true
-		return StepInfo{Halted: true, Index: c.PC}
+		*info = StepInfo{Halted: true, Index: c.PC}
+		return
 	}
 	in := c.prog.Instrs[c.PC]
-	info := StepInfo{Index: c.PC, Instr: in, NextPC: c.PC + 1}
-	c.execute(in, &info)
+	*info = StepInfo{Index: c.PC, Instr: in, NextPC: c.PC + 1}
+	c.execute(in, info)
 	c.R[0] = 0 // r0 is hard-wired
 	c.PC = info.NextPC
 	c.retired++
 	if info.Halted {
 		c.halted = true
 	}
-	return info
 }
 
 // Run executes until HALT or maxInstrs, returning the number executed.

@@ -1,0 +1,98 @@
+package cpu_test
+
+import (
+	"reflect"
+	"testing"
+
+	"buspower/internal/cpu"
+	"buspower/internal/workload"
+)
+
+// The optimized Simulator (index-based slot rings, direct-mapped store
+// tracking, pre-decoded metadata, radix-sorted event collection) must be
+// cycle-identical to the map-based ReferenceSimulator it replaced: every
+// experiment artifact derives from these traces, so "faster" is only
+// admissible when BusTraces match byte for byte.
+
+// goldenWorkloads covers the behaviour space: integer pointer chasing,
+// hashing/branching, FP stencils (FP register timing paths), and a
+// store-heavy kernel (memory bus + writeback paths).
+var goldenWorkloads = []string{"li", "gcc", "compress", "swim", "tomcatv"}
+
+func TestGoldenTraceDifferential(t *testing.T) {
+	const (
+		maxInstrs = 300_000
+		maxValues = 40_000
+	)
+	for _, name := range goldenWorkloads {
+		t.Run(name, func(t *testing.T) {
+			w, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := w.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := cpu.NewSimulator(p, cpu.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := cpu.NewReferenceSimulator(p, cpu.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := opt.Run(maxInstrs, maxValues)
+			want := ref.Run(maxInstrs, maxValues)
+			compareBusTraces(t, got, want)
+		})
+	}
+}
+
+// TestGoldenTraceDifferentialUnbounded exercises the no-cap path (the
+// early-exit break never fires, every event is collected and sorted).
+func TestGoldenTraceDifferentialUnbounded(t *testing.T) {
+	w, err := workload.ByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := cpu.NewSimulator(p, cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := cpu.NewReferenceSimulator(p, cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareBusTraces(t, opt.Run(120_000, 0), ref.Run(120_000, 0))
+}
+
+func compareBusTraces(t *testing.T, got, want cpu.BusTraces) {
+	t.Helper()
+	if got.Instructions != want.Instructions || got.Cycles != want.Cycles {
+		t.Fatalf("timing diverged: got %d instrs / %d cycles, want %d / %d",
+			got.Instructions, got.Cycles, want.Instructions, want.Cycles)
+	}
+	compareStream(t, "RegisterBus", got.RegisterBus, want.RegisterBus)
+	compareStream(t, "MemoryBus", got.MemoryBus, want.MemoryBus)
+	compareStream(t, "MemoryAddrBus", got.MemoryAddrBus, want.MemoryAddrBus)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("summary statistics diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func compareStream(t *testing.T, name string, got, want []uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s diverges at beat %d: got %#x, want %#x", name, i, got[i], want[i])
+		}
+	}
+}

@@ -2,7 +2,7 @@ package cpu
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 )
 
 // Config parameterizes the out-of-order timing model
@@ -79,11 +79,106 @@ type BusTraces struct {
 	BranchAccuracy float64
 }
 
+// instrMeta is the pre-decoded per-opcode timing metadata: one dense array
+// load in the simulation loop replaces the opTable indirections (Class,
+// Latency, IsFP, usesRs2, destOf, isConditional) the loop used to chase
+// per instruction.
+type instrMeta struct {
+	class   uint8
+	latency uint8
+	dest    uint8 // destKind
+	flags   uint8
+}
+
+const (
+	mfFP uint8 = 1 << iota
+	mfUsesRs2
+	mfCond
+)
+
+var metaTable [opCount]instrMeta
+
+func init() {
+	for op := Op(0); op < opCount; op++ {
+		m := instrMeta{
+			class:   uint8(op.Class()),
+			latency: uint8(op.Latency()),
+			dest:    uint8(destOf(op)),
+		}
+		if op.IsFP() {
+			m.flags |= mfFP
+		}
+		if usesRs2(op) {
+			m.flags |= mfUsesRs2
+		}
+		if isConditional(op) {
+			m.flags |= mfCond
+		}
+		metaTable[op] = m
+	}
+}
+
+// slotRing is an index-based replacement for the per-cycle bandwidth maps:
+// a power-of-two ring of (cycle tag, reservation count) slots. A slot
+// whose tag differs from the queried cycle is empty — stale tags belong to
+// cycles the simulation has provably moved past (reservations only ever
+// start at or after monotonically increasing frontiers), so they are
+// overwritten in place instead of being pruned in batches.
+//
+// The ring must be larger than the maximum spread between the oldest cycle
+// still queryable and the newest cycle reserved. reserve panics if it ever
+// observes a slot tagged with a *future* cycle — the signature of that
+// invariant breaking — so aliasing can never silently corrupt timing.
+type slotRing struct {
+	tags   []uint64
+	counts []int32
+	mask   uint64
+}
+
+func newSlotRing(size int) slotRing {
+	if size <= 0 || size&(size-1) != 0 {
+		panic("cpu: slot ring size must be a positive power of two")
+	}
+	return slotRing{
+		tags:   make([]uint64, size),
+		counts: make([]int32, size),
+		mask:   uint64(size - 1),
+	}
+}
+
+// reserve finds the first cycle >= from with a free slot (capacity cap)
+// and consumes it. Cycles are always >= 1, so the zero tag means "never
+// used".
+func (r *slotRing) reserve(from uint64, cap int32) uint64 {
+	c := from
+	for {
+		i := c & r.mask
+		t := r.tags[i]
+		if t != c {
+			if t > c {
+				panic(fmt.Sprintf("cpu: slot ring aliasing: cycle %d collides with live cycle %d (ring too small)", c, t))
+			}
+			r.tags[i] = c
+			r.counts[i] = 1
+			return c
+		}
+		if r.counts[i] < cap {
+			r.counts[i]++
+			return c
+		}
+		c++
+	}
+}
+
 // Simulator re-times the functional core's dynamic instruction stream
 // through an out-of-order pipeline model: per-instruction fetch, dispatch,
 // issue, completion and commit times are derived from dependence,
 // bandwidth and structural constraints — the same functional-first
 // organization the paper built its bus timing generators on.
+//
+// This is the optimized implementation; ReferenceSimulator (kept in
+// ooo_reference.go) is the map-based original, and the golden differential
+// test requires both to produce byte-identical BusTraces.
 type Simulator struct {
 	cfg  Config
 	core *Core
@@ -106,18 +201,20 @@ type Simulator struct {
 	fuFree [fuClassCount][]uint64
 
 	// Bandwidth accounting: issued/committed/fetched counts per cycle.
-	issueSlots  slotMap
-	commitSlots slotMap
-	fetchSlots  slotMap
+	issueSlots  slotRing
+	commitSlots slotRing
+	fetchSlots  slotRing
 
-	// Store forwarding/conflict tracking: word address -> completion of
-	// the youngest store to it.
-	storeComplete map[uint32]uint64
+	// Store forwarding/conflict tracking: completion of the youngest
+	// store to each memory word, direct-mapped over the data memory
+	// (exact — no pruning, no hashing). Entries the map-based original
+	// pruned are provably unreachable: a later load's ready time already
+	// exceeds any completion old enough to have been pruned.
+	storeDone []uint64
 
-	fetchFrontier  uint64 // earliest cycle the next instruction can fetch
-	lastCommit     uint64 // commit time of the previous instruction (in-order)
-	lastCycle      uint64
-	pruneCountdown int // instructions until the next slot-map cleanup
+	fetchFrontier uint64 // earliest cycle the next instruction can fetch
+	lastCommit    uint64 // commit time of the previous instruction (in-order)
+	lastCycle     uint64
 
 	// Return-address stack for predicting returns (depth-limited ring;
 	// overflow silently wraps like real hardware).
@@ -142,24 +239,26 @@ func (s *Simulator) rasPop() int32 {
 	return addr
 }
 
+// busEvent is one value beat. Events are appended in program order, and
+// the collection sort is stable, so no explicit sequence tie-break is
+// needed.
 type busEvent struct {
 	cycle uint64
-	seq   int // tie-break: program order
 	value uint32
 }
 
-// slotMap counts bandwidth consumption per cycle with pruning.
-type slotMap map[uint64]int
-
-// reserve finds the first cycle >= from with a free slot (capacity cap)
-// and consumes it.
-func (s slotMap) reserve(from uint64, cap int) uint64 {
-	c := from
-	for s[c] >= cap {
-		c++
+// ringSizeFor picks the bandwidth-ring capacity: comfortably above the
+// worst-case spread between the oldest queryable cycle (the fetch
+// frontier) and the newest reserved cycle, which is bounded by the reorder
+// window depth times the longest per-instruction latency chain
+// (RUUSize * ~(L1+L2+Mem+slack)). The aliasing panic in reserve guards the
+// bound.
+func ringSizeFor(cfg Config) int {
+	span := cfg.RUUSize * 512
+	if span < 1<<15 {
+		span = 1 << 15
 	}
-	s[c]++
-	return c
+	return 1 << bits.Len(uint(span-1))
 }
 
 // NewSimulator wraps a functional core in the timing model.
@@ -168,6 +267,7 @@ func NewSimulator(p *Program, cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	ringSize := ringSizeFor(cfg)
 	s := &Simulator{
 		cfg:           cfg,
 		core:          core,
@@ -176,10 +276,10 @@ func NewSimulator(p *Program, cfg Config) (*Simulator, error) {
 		pred:          NewBimodalPredictor(cfg.PredictorEntries),
 		commitRing:    make([]uint64, cfg.RUUSize),
 		lsqRing:       make([]uint64, cfg.LSQSize),
-		issueSlots:    make(slotMap),
-		commitSlots:   make(slotMap),
-		fetchSlots:    make(slotMap),
-		storeComplete: make(map[uint32]uint64),
+		issueSlots:    newSlotRing(ringSize),
+		commitSlots:   newSlotRing(ringSize),
+		fetchSlots:    newSlotRing(ringSize),
+		storeDone:     make([]uint64, core.Mem.Size()/4+1),
 		fetchFrontier: 1,
 	}
 	for class := range s.fuFree {
@@ -195,25 +295,35 @@ func NewSimulator(p *Program, cfg Config) (*Simulator, error) {
 // Run executes up to maxInstrs instructions (or until HALT), collecting at
 // most maxBusValues per bus (0 = unlimited).
 func (s *Simulator) Run(maxInstrs uint64, maxBusValues int) BusTraces {
-	cfg := s.cfg
-	var executed uint64
-	for executed < maxInstrs && !s.core.Halted() {
-		info := s.core.Step()
+	var (
+		fetchWidth  = int32(s.cfg.FetchWidth)
+		issueWidth  = int32(s.cfg.IssueWidth)
+		commitWidth = int32(s.cfg.CommitWidth)
+		mispredict  = uint64(s.cfg.MispredictPenalty)
+		core        = s.core
+		executed    uint64
+		info        StepInfo
+	)
+	for executed < maxInstrs && !core.halted {
+		core.StepInto(&info)
 		if info.Halted && info.Instr.Op != OpHalt {
 			break
 		}
 		executed++
 
+		in := info.Instr
+		meta := metaTable[in.Op]
+		isMem := info.IsLoad || info.IsStore
+
 		// --- Fetch ---
-		fetch := s.fetchSlots.reserve(s.fetchFrontier, cfg.FetchWidth)
-		s.pruneSlots(fetch)
+		fetch := s.fetchSlots.reserve(s.fetchFrontier, fetchWidth)
 
 		// --- Dispatch: decode depth + reorder window slot ---
 		dispatch := fetch + 2
 		if windowFree := s.commitRing[s.ringPos]; dispatch < windowFree {
 			dispatch = windowFree
 		}
-		if info.IsLoad || info.IsStore {
+		if isMem {
 			if lsqFree := s.lsqRing[s.lsqPos]; dispatch < lsqFree {
 				dispatch = lsqFree
 			}
@@ -226,21 +336,19 @@ func (s *Simulator) Run(maxInstrs uint64, maxBusValues int) BusTraces {
 
 		// --- Source operands ---
 		ready := dispatch + 1
-		in := info.Instr
-		switch {
-		case in.Op.IsFP():
+		if meta.flags&mfFP != 0 {
 			// FP ops read f sources; loads/stores also read the int base.
-			if t := s.fpSrcReady(in); t > ready {
+			if t := fpSrcReadyTimes(&s.fpReady, &s.intReady, in); t > ready {
 				ready = t
 			}
-			if (info.IsLoad || info.IsStore) && s.intReady[in.Rs1] > ready {
+			if isMem && s.intReady[in.Rs1] > ready {
 				ready = s.intReady[in.Rs1]
 			}
-		default:
+		} else {
 			if t := s.intReady[in.Rs1]; t > ready {
 				ready = t
 			}
-			if usesRs2(in.Op) {
+			if meta.flags&mfUsesRs2 != 0 {
 				if t := s.intReady[in.Rs2]; t > ready {
 					ready = t
 				}
@@ -249,44 +357,48 @@ func (s *Simulator) Run(maxInstrs uint64, maxBusValues int) BusTraces {
 		// Memory ordering: a load may not issue before the youngest
 		// earlier store to the same word completes (no speculation).
 		if info.IsLoad {
-			if t := s.storeComplete[info.Addr&^3]; t > ready {
+			if t := s.storeDone[info.Addr>>2]; t > ready {
 				ready = t
 			}
 		}
 
 		// --- Issue: bandwidth + functional unit ---
-		issue := s.issueSlots.reserve(ready, cfg.IssueWidth)
-		issue = s.acquireFU(in.Op.Class(), issue)
+		issue := s.issueSlots.reserve(ready, issueWidth)
+		issue = s.acquireFU(FUClass(meta.class), issue)
 
 		// --- Execute/complete ---
-		complete := issue + uint64(in.Op.Latency())
+		complete := issue + uint64(meta.latency)
 		l1Miss := false
-		if info.IsLoad || info.IsStore {
+		if isMem {
 			var lat int
-			lat, l1Miss = s.memoryLatency(info)
+			lat, l1Miss = s.memoryLatency(&info)
 			complete = issue + uint64(lat)
 		}
 
 		// --- Register bus events: operand reads at issue ---
 		for i := 0; i < info.NSrcInt; i++ {
-			s.regEvents = append(s.regEvents, busEvent{issue, len(s.regEvents), info.SrcInt[i]})
+			s.regEvents = append(s.regEvents, busEvent{issue, info.SrcInt[i]})
 		}
 
 		// --- Memory bus events (§4.1): load data crossing the external
 		// bus on an L1 miss arrives at completion; store data leaves the
 		// store buffer at completion. ---
 		if (info.IsLoad && l1Miss) || info.IsStore {
-			s.memEvents = append(s.memEvents, busEvent{complete, len(s.memEvents), info.Data})
-			s.addrEvents = append(s.addrEvents, busEvent{complete, len(s.addrEvents), info.Addr})
+			s.memEvents = append(s.memEvents, busEvent{complete, info.Data})
+			s.addrEvents = append(s.addrEvents, busEvent{complete, info.Addr})
 		}
 
 		// --- Writeback: destination ready ---
-		s.setDestReady(in, info, complete)
-		if info.IsStore {
-			s.storeComplete[info.Addr&^3] = complete
-			if len(s.storeComplete) > 4*cfg.LSQSize {
-				s.pruneStores(complete)
+		switch destKind(meta.dest) {
+		case destInt:
+			if in.Rd != 0 {
+				s.intReady[in.Rd] = complete
 			}
+		case destFP:
+			s.fpReady[in.Rd] = complete
+		}
+		if info.IsStore {
+			s.storeDone[info.Addr>>2] = complete
 		}
 
 		// --- Commit: in order ---
@@ -294,13 +406,19 @@ func (s *Simulator) Run(maxInstrs uint64, maxBusValues int) BusTraces {
 		if commit < s.lastCommit {
 			commit = s.lastCommit
 		}
-		commit = s.commitSlots.reserve(commit, cfg.CommitWidth)
+		commit = s.commitSlots.reserve(commit, commitWidth)
 		s.lastCommit = commit
 		s.commitRing[s.ringPos] = commit
-		s.ringPos = (s.ringPos + 1) % len(s.commitRing)
-		if info.IsLoad || info.IsStore {
+		s.ringPos++
+		if s.ringPos == len(s.commitRing) {
+			s.ringPos = 0
+		}
+		if isMem {
 			s.lsqRing[s.lsqPos] = commit
-			s.lsqPos = (s.lsqPos + 1) % len(s.lsqRing)
+			s.lsqPos++
+			if s.lsqPos == len(s.lsqRing) {
+				s.lsqPos = 0
+			}
 		}
 		if commit > s.lastCycle {
 			s.lastCycle = commit
@@ -315,7 +433,7 @@ func (s *Simulator) Run(maxInstrs uint64, maxBusValues int) BusTraces {
 		if info.IsControl {
 			mispredicted := false
 			switch {
-			case isConditional(in.Op):
+			case meta.flags&mfCond != 0:
 				predictedTaken := s.pred.PredictAndUpdate(info.Index, info.Taken)
 				mispredicted = predictedTaken != info.Taken
 			case in.Op == OpJal:
@@ -334,7 +452,7 @@ func (s *Simulator) Run(maxInstrs uint64, maxBusValues int) BusTraces {
 				}
 			}
 			if mispredicted {
-				redirect := complete + uint64(cfg.MispredictPenalty)
+				redirect := complete + mispredict
 				if redirect > s.fetchFrontier {
 					s.fetchFrontier = redirect
 				}
@@ -348,22 +466,24 @@ func (s *Simulator) Run(maxInstrs uint64, maxBusValues int) BusTraces {
 	return s.collect(executed, maxBusValues)
 }
 
-func (s *Simulator) fpSrcReady(in Instr) uint64 {
+// fpSrcReadyTimes returns the cycle the FP instruction's source operands
+// become available. Shared by the optimized and reference simulators.
+func fpSrcReadyTimes(fpReady, intReady *[32]uint64, in Instr) uint64 {
 	t := uint64(0)
 	switch in.Op {
 	case OpFadd, OpFsub, OpFmul, OpFdiv, OpFmin, OpFmax, OpFeq, OpFlt, OpFle:
-		if s.fpReady[in.Rs1] > t {
-			t = s.fpReady[in.Rs1]
+		if fpReady[in.Rs1] > t {
+			t = fpReady[in.Rs1]
 		}
-		if s.fpReady[in.Rs2] > t {
-			t = s.fpReady[in.Rs2]
+		if fpReady[in.Rs2] > t {
+			t = fpReady[in.Rs2]
 		}
 	case OpFneg, OpFabs, OpFmov, OpFcvtWS:
-		t = s.fpReady[in.Rs1]
+		t = fpReady[in.Rs1]
 	case OpFcvtSW:
-		t = s.intReady[in.Rs1]
+		t = intReady[in.Rs1]
 	case OpFsw:
-		t = s.fpReady[in.Rs2]
+		t = fpReady[in.Rs2]
 	case OpFlw:
 		// base handled by caller
 	}
@@ -395,22 +515,11 @@ func destOf(op Op) destKind {
 	}
 }
 
-func (s *Simulator) setDestReady(in Instr, info StepInfo, complete uint64) {
-	switch destOf(in.Op) {
-	case destInt:
-		if in.Rd != 0 {
-			s.intReady[in.Rd] = complete
-		}
-	case destFP:
-		s.fpReady[in.Rd] = complete
-	}
-}
-
 // memoryLatency performs the cache accesses for a memory instruction and
 // returns its load-to-use (or store completion) latency plus whether the
 // access missed the L1 (i.e. the data word crossed the memory bus).
-func (s *Simulator) memoryLatency(info StepInfo) (int, bool) {
-	cfg := s.cfg
+func (s *Simulator) memoryLatency(info *StepInfo) (int, bool) {
+	cfg := &s.cfg
 	lat := cfg.L1Latency
 	res := s.l1d.Access(info.Addr, info.IsStore)
 	if res.Hit {
@@ -443,53 +552,13 @@ func (s *Simulator) acquireFU(class FUClass, from uint64) uint64 {
 	return start
 }
 
-func (s *Simulator) pruneSlots(frontier uint64) {
-	// Amortized cleanup: every 16384 instructions, drop bandwidth entries
-	// far enough behind the fetch frontier that no future reservation can
-	// reach them (reservations start at or after the frontier minus the
-	// reorder window's reach).
-	s.pruneCountdown--
-	if s.pruneCountdown > 0 {
-		return
-	}
-	s.pruneCountdown = 16384
-	cut := frontier
-	if window := uint64(s.cfg.RUUSize) * 4; cut > window {
-		cut -= window
-	} else {
-		cut = 0
-	}
-	for _, m := range []slotMap{s.issueSlots, s.commitSlots, s.fetchSlots} {
-		for c := range m {
-			if c < cut {
-				delete(m, c)
-			}
-		}
-	}
-}
-
-func (s *Simulator) pruneStores(frontier uint64) {
-	cut := frontier
-	if cut > 512 {
-		cut -= 512
-	} else {
-		cut = 0
-	}
-	for a, t := range s.storeComplete {
-		if t < cut {
-			delete(s.storeComplete, a)
-		}
-	}
-}
-
 func (s *Simulator) collect(executed uint64, maxBusValues int) BusTraces {
+	var scratch []busEvent
 	sortEvents := func(ev []busEvent) []uint64 {
-		sort.Slice(ev, func(i, j int) bool {
-			if ev[i].cycle != ev[j].cycle {
-				return ev[i].cycle < ev[j].cycle
-			}
-			return ev[i].seq < ev[j].seq
-		})
+		if len(ev) > len(scratch) {
+			scratch = make([]busEvent, len(ev))
+		}
+		radixSortByCycle(ev, scratch[:len(ev)])
 		out := make([]uint64, len(ev))
 		for i, e := range ev {
 			out[i] = uint64(e.value)
@@ -513,6 +582,49 @@ func (s *Simulator) collect(executed uint64, maxBusValues int) BusTraces {
 		t.IPC = float64(t.Instructions) / float64(t.Cycles)
 	}
 	return t
+}
+
+// radixSortByCycle sorts events by cycle with a stable byte-wise LSD radix
+// sort, preserving append (program) order within a cycle — the same order
+// sort.Slice over (cycle, seq) produced, without the comparison-sort
+// closures that dominated the collection profile. Passes whose byte is
+// constant across all events (the high cycle bytes, usually) are skipped.
+func radixSortByCycle(ev, scratch []busEvent) {
+	if len(ev) < 2 {
+		return
+	}
+	var orAll, andAll uint64 = 0, ^uint64(0)
+	for i := range ev {
+		orAll |= ev[i].cycle
+		andAll &= ev[i].cycle
+	}
+	src, dst := ev, scratch
+	swapped := false
+	var counts [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		varying := byte(orAll>>shift) ^ byte(andAll>>shift)
+		if varying == 0 {
+			continue // every event shares this byte
+		}
+		counts = [256]int{}
+		for i := range src {
+			counts[byte(src[i].cycle>>shift)]++
+		}
+		total := 0
+		for b := 0; b < 256; b++ {
+			counts[b], total = total, total+counts[b]
+		}
+		for i := range src {
+			b := byte(src[i].cycle >> shift)
+			dst[counts[b]] = src[i]
+			counts[b]++
+		}
+		src, dst = dst, src
+		swapped = !swapped
+	}
+	if swapped {
+		copy(ev, src)
+	}
 }
 
 func usesRs2(op Op) bool {

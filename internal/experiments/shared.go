@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"container/list"
 	"sync"
 
 	"buspower/internal/bus"
@@ -25,31 +26,64 @@ type rawMeterEntry struct {
 	ready chan struct{}
 	m     *bus.Meter
 	err   error
+	// done is set under rawMeterMu before ready is closed; only done
+	// entries are eviction candidates, so a key being measured can never
+	// be dropped out from under its waiters (which would start a second
+	// measurement of the same trace).
+	done bool
+	key  rawMeterKey
+	elem *list.Element
 }
 
+// The memo is bounded by an LRU: rawMeterLRU orders entries front =
+// most-recently-used, and eviction walks from the back, skipping
+// in-flight entries. (The previous policy flushed the whole map when it
+// grew past the limit, which also discarded entries still being
+// measured — a caller racing with the flush would re-measure a trace
+// that another goroutine was measuring at that moment.)
 var (
 	rawMeterMu    sync.Mutex
 	rawMeterMemo  = map[rawMeterKey]*rawMeterEntry{}
+	rawMeterLRU   = list.New()
 	rawMeterLimit = 128
 )
 
 func rawMeterMemoized(key rawMeterKey, measure func() (*bus.Meter, error)) (*bus.Meter, error) {
 	rawMeterMu.Lock()
-	e, ok := rawMeterMemo[key]
-	if ok {
+	if e, ok := rawMeterMemo[key]; ok {
+		rawMeterLRU.MoveToFront(e.elem)
 		rawMeterMu.Unlock()
 		<-e.ready
 		return e.m, e.err
 	}
-	e = &rawMeterEntry{ready: make(chan struct{})}
-	if len(rawMeterMemo) > rawMeterLimit {
-		rawMeterMemo = map[rawMeterKey]*rawMeterEntry{}
-	}
+	e := &rawMeterEntry{ready: make(chan struct{}), key: key}
+	e.elem = rawMeterLRU.PushFront(e)
 	rawMeterMemo[key] = e
+	for len(rawMeterMemo) > rawMeterLimit {
+		var victim *rawMeterEntry
+		for le := rawMeterLRU.Back(); le != nil; le = le.Prev() {
+			if cand := le.Value.(*rawMeterEntry); cand.done {
+				victim = cand
+				break
+			}
+		}
+		if victim == nil {
+			// Every entry is in flight: tolerate a temporary overshoot
+			// rather than evict work in progress.
+			break
+		}
+		rawMeterLRU.Remove(victim.elem)
+		delete(rawMeterMemo, victim.key)
+	}
 	rawMeterMu.Unlock()
-	e.m, e.err = measure()
+
+	m, err := measure()
+	rawMeterMu.Lock()
+	e.m, e.err = m, err
+	e.done = true
+	rawMeterMu.Unlock()
 	close(e.ready)
-	return e.m, e.err
+	return m, err
 }
 
 // rawMeterFor returns the shared raw-bus meter of one workload bus at the

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"buspower/internal/bus"
+	"buspower/internal/coding"
+)
+
+// resetRawMeterMemo gives each test a private memo with its own size
+// limit, restoring the package state afterwards.
+func resetRawMeterMemo(t *testing.T, limit int) {
+	t.Helper()
+	rawMeterMu.Lock()
+	prevMemo, prevLRU, prevLimit := rawMeterMemo, rawMeterLRU, rawMeterLimit
+	rawMeterMemo = map[rawMeterKey]*rawMeterEntry{}
+	rawMeterLRU.Init()
+	rawMeterLimit = limit
+	rawMeterMu.Unlock()
+	t.Cleanup(func() {
+		rawMeterMu.Lock()
+		rawMeterMemo, rawMeterLRU, rawMeterLimit = prevMemo, prevLRU, prevLimit
+		rawMeterMu.Unlock()
+	})
+}
+
+func testMeter(v uint64) func() (*bus.Meter, error) {
+	return func() (*bus.Meter, error) {
+		return coding.MeasureRawValues(busWidth, []uint64{v, v ^ 0xFF}), nil
+	}
+}
+
+// The memo must stay bounded, evicting least-recently-used entries one at
+// a time instead of flushing wholesale.
+func TestRawMeterMemoEvictsLRU(t *testing.T) {
+	resetRawMeterMemo(t, 4)
+	for i := 0; i < 10; i++ {
+		if _, err := rawMeterMemoized(rawMeterKey{name: "k", n: i + 1}, testMeter(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rawMeterMu.Lock()
+	size := len(rawMeterMemo)
+	_, oldest := rawMeterMemo[rawMeterKey{name: "k", n: 1}]
+	_, newest := rawMeterMemo[rawMeterKey{name: "k", n: 10}]
+	rawMeterMu.Unlock()
+	if size > 4 {
+		t.Fatalf("memo grew to %d entries, limit 4", size)
+	}
+	if oldest {
+		t.Error("least-recently-used entry survived eviction")
+	}
+	if !newest {
+		t.Error("most-recent entry was evicted")
+	}
+}
+
+// An in-flight measurement must never be evicted: while one goroutine is
+// measuring a key, a flood of other keys overflows the memo, and a second
+// caller for the in-flight key must still coalesce onto the first
+// measurement rather than start its own.
+func TestRawMeterMemoKeepsInFlightEntries(t *testing.T) {
+	resetRawMeterMemo(t, 2)
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slowKey := rawMeterKey{name: "slow", n: 999}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rawMeterMemoized(slowKey, func() (*bus.Meter, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return coding.MeasureRawValues(busWidth, []uint64{1}), nil
+		})
+	}()
+	<-started
+
+	// Overflow the memo while slowKey is still measuring.
+	for i := 0; i < 8; i++ {
+		if _, err := rawMeterMemoized(rawMeterKey{name: "filler", n: i + 1}, testMeter(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rawMeterMu.Lock()
+	_, stillThere := rawMeterMemo[slowKey]
+	rawMeterMu.Unlock()
+	if !stillThere {
+		t.Fatal("in-flight entry was evicted")
+	}
+
+	// A second caller for slowKey must wait for the first measurement,
+	// not run its own.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rawMeterMemoized(slowKey, func() (*bus.Meter, error) {
+			calls.Add(1)
+			return coding.MeasureRawValues(busWidth, []uint64{2}), nil
+		})
+	}()
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("key measured %d times, want 1", n)
+	}
+}
+
+// Touching an entry refreshes its recency: re-reading the oldest key
+// before overflowing must keep it alive while a younger untouched key is
+// evicted instead.
+func TestRawMeterMemoTouchRefreshesRecency(t *testing.T) {
+	resetRawMeterMemo(t, 3)
+	for i := 0; i < 3; i++ {
+		if _, err := rawMeterMemoized(rawMeterKey{name: "k", n: i + 1}, testMeter(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 1 (the oldest), then insert a fourth key: key 2 is now
+	// the LRU and must be the one evicted.
+	if _, err := rawMeterMemoized(rawMeterKey{name: "k", n: 1}, testMeter(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rawMeterMemoized(rawMeterKey{name: "k", n: 4}, testMeter(3)); err != nil {
+		t.Fatal(err)
+	}
+	rawMeterMu.Lock()
+	_, touched := rawMeterMemo[rawMeterKey{name: "k", n: 1}]
+	_, lru := rawMeterMemo[rawMeterKey{name: "k", n: 2}]
+	rawMeterMu.Unlock()
+	if !touched {
+		t.Error("recently touched entry was evicted")
+	}
+	if lru {
+		t.Error("least-recently-used entry survived")
+	}
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"buspower/internal/cpu"
+)
+
+// withTraceCacheDir points the disk cache at a temp directory for the
+// test's duration and resets all cache state around it. These tests
+// mutate package-global cache configuration, so they must not run in
+// parallel with each other.
+func withTraceCacheDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	prev, err := SetTraceCacheDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ClearTraceCache()
+	t.Cleanup(func() {
+		SetTraceCacheDir(prev)
+		ClearTraceCache()
+	})
+	return dir
+}
+
+func cacheFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.trc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+var diskTestCfg = RunConfig{MaxInstructions: 60_000, MaxBusValues: 5_000}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := withTraceCacheDir(t)
+
+	first, err := Traces("li", diskTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Stats()
+	if s.DiskHits != 0 || s.DiskMisses != 1 || s.DiskErrors != 0 {
+		t.Fatalf("after cold run: %+v", s)
+	}
+	files := cacheFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("expected 1 cache file, found %v", files)
+	}
+
+	// Drop the in-memory layer; the second call must be served from disk
+	// and reproduce the simulated TraceSet exactly, summary included.
+	ClearTraceCache()
+	second, err := Traces("li", diskTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = Stats()
+	if s.DiskHits != 1 || s.DiskMisses != 0 || s.DiskErrors != 0 {
+		t.Fatalf("after warm run: %+v", s)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("disk-loaded TraceSet differs from the simulated one")
+	}
+}
+
+func TestDiskCacheCorruptFileFallsBack(t *testing.T) {
+	dir := withTraceCacheDir(t)
+	want, err := Traces("li", diskTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := cacheFiles(t, dir)[0]
+
+	// Flip a payload bit: the checksum must reject the file and the
+	// runner must silently re-simulate (and overwrite with a good copy).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ClearTraceCache()
+	got, err := Traces("li", diskTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Stats()
+	if s.DiskErrors == 0 || s.DiskHits != 0 {
+		t.Fatalf("corruption not detected: %+v", s)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("fallback re-simulation produced a different TraceSet")
+	}
+
+	// The bad file was repaired: a third cold pass hits disk again.
+	ClearTraceCache()
+	if _, err := Traces("li", diskTestCfg); err != nil {
+		t.Fatal(err)
+	}
+	if s := Stats(); s.DiskHits != 1 {
+		t.Fatalf("repaired entry not reused: %+v", s)
+	}
+}
+
+func TestDiskCacheStaleVersionIgnored(t *testing.T) {
+	dir := withTraceCacheDir(t)
+	if _, err := Traces("li", diskTestCfg); err != nil {
+		t.Fatal(err)
+	}
+	path := cacheFiles(t, dir)[0]
+
+	// Simulate a file from an older format: BUSTRC01 magic with junk.
+	if err := os.WriteFile(path, []byte("BUSTRC01 leftover from an old build"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ClearTraceCache()
+	if _, err := Traces("li", diskTestCfg); err != nil {
+		t.Fatal(err)
+	}
+	s := Stats()
+	if s.DiskHits != 0 || s.DiskErrors == 0 {
+		t.Fatalf("stale-version file not treated as invalid: %+v", s)
+	}
+}
+
+func TestDiskCacheKeySensitivity(t *testing.T) {
+	dir := withTraceCacheDir(t)
+	if _, err := Traces("li", diskTestCfg); err != nil {
+		t.Fatal(err)
+	}
+	// A different run bound is a different simulation: new file.
+	other := diskTestCfg
+	other.MaxInstructions += 1
+	if _, err := Traces("li", other); err != nil {
+		t.Fatal(err)
+	}
+	// A different workload too.
+	if _, err := Traces("gcc", diskTestCfg); err != nil {
+		t.Fatal(err)
+	}
+	if files := cacheFiles(t, dir); len(files) != 3 {
+		t.Fatalf("expected 3 distinct cache files, found %d", len(files))
+	}
+}
+
+func TestDiskCacheKeyCoversConfig(t *testing.T) {
+	w, err := ByName("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := traceCacheKey(w, cpu.DefaultConfig(), diskTestCfg)
+	altCfg := cpu.DefaultConfig()
+	altCfg.RUUSize *= 2
+	if traceCacheKey(w, altCfg, diskTestCfg) == base {
+		t.Error("cpu.Config change did not change the cache key")
+	}
+	altW := w
+	altW.Source += "\n"
+	if traceCacheKey(altW, cpu.DefaultConfig(), diskTestCfg) == base {
+		t.Error("program text change did not change the cache key")
+	}
+}
+
+func TestDiskCacheDisabledByDefault(t *testing.T) {
+	// With no directory configured, Traces must not touch the disk
+	// counters at all.
+	prev, err := SetTraceCacheDir("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ClearTraceCache()
+	t.Cleanup(func() {
+		SetTraceCacheDir(prev)
+		ClearTraceCache()
+	})
+	if _, err := Traces("li", diskTestCfg); err != nil {
+		t.Fatal(err)
+	}
+	s := Stats()
+	if s.DiskHits != 0 || s.DiskMisses != 0 || s.DiskErrors != 0 {
+		t.Fatalf("disk layer active while disabled: %+v", s)
+	}
+}

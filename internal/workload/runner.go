@@ -73,6 +73,9 @@ var (
 	traceCache  = map[cacheKey]*cacheEntry{}
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+	diskHits    atomic.Uint64
+	diskMisses  atomic.Uint64
+	diskErrors  atomic.Uint64
 )
 
 // Traces returns the workload's bus traces, memoized per (workload,
@@ -102,30 +105,89 @@ func Traces(name string, cfg RunConfig) (TraceSet, error) {
 	return e.ts, e.err
 }
 
+// simulate produces a TraceSet, consulting the persistent disk cache when
+// one is configured. It runs inside the single-flight leader, so for any
+// (workload, config) at most one goroutine touches the disk entry at a
+// time within this process; cross-process safety comes from the cache's
+// atomic rename-on-write.
 func simulate(name string, cfg RunConfig) (TraceSet, error) {
 	w, err := ByName(name)
 	if err != nil {
 		return TraceSet{}, err
 	}
-	return Run(w, cfg)
+	dir := TraceCacheDir()
+	if dir == "" {
+		return Run(w, cfg)
+	}
+	key := traceCacheKey(w, cpu.DefaultConfig(), cfg)
+	path := traceCachePath(dir, key)
+	ts, lerr := loadTraceSet(path, name)
+	if lerr == nil {
+		diskHits.Add(1)
+		return ts, nil
+	}
+	diskMisses.Add(1)
+	if !notExist(lerr) {
+		// The file exists but is stale, torn, or corrupt: fall back to
+		// re-simulation (which will overwrite it with a good copy).
+		diskErrors.Add(1)
+	}
+	ts, err = Run(w, cfg)
+	if err == nil {
+		if serr := storeTraceSet(dir, key, ts); serr != nil {
+			diskErrors.Add(1)
+		}
+	}
+	return ts, err
 }
 
-// TraceCacheStats reports the cache's counters: hits counts calls served
-// from a memoized or in-flight simulation, misses counts simulations
-// actually started. After any burst of concurrent Traces calls for one
-// key, misses increases by exactly 1.
+// TraceCacheStats reports the in-memory cache's counters: hits counts
+// calls served from a memoized or in-flight simulation, misses counts
+// simulations actually started. After any burst of concurrent Traces
+// calls for one key, misses increases by exactly 1.
 func TraceCacheStats() (hits, misses uint64) {
 	return cacheHits.Load(), cacheMisses.Load()
 }
 
-// ClearTraceCache drops all memoized traces and resets the hit/miss
-// counters (for tests and tools that sweep many configurations).
-// In-flight simulations complete and are delivered to their waiters, but
-// their results are no longer cached for later callers.
+// CacheStats is a full accounting of both trace cache layers.
+type CacheStats struct {
+	// MemHits and MemMisses count the in-process memoization layer
+	// (same meaning as TraceCacheStats).
+	MemHits, MemMisses uint64
+	// DiskHits and DiskMisses count persistent-cache lookups; they stay
+	// zero while no cache directory is configured. Every memory miss
+	// becomes exactly one disk hit or miss when the disk layer is on.
+	DiskHits, DiskMisses uint64
+	// DiskErrors counts cache files that existed but could not be
+	// trusted (stale format, corruption) plus failed writes; each such
+	// event fell back to re-simulation, never to a wrong answer.
+	DiskErrors uint64
+}
+
+// Stats reports both cache layers' counters.
+func Stats() CacheStats {
+	return CacheStats{
+		MemHits:    cacheHits.Load(),
+		MemMisses:  cacheMisses.Load(),
+		DiskHits:   diskHits.Load(),
+		DiskMisses: diskMisses.Load(),
+		DiskErrors: diskErrors.Load(),
+	}
+}
+
+// ClearTraceCache drops all memoized traces and resets every counter,
+// including the disk layer's (for tests and tools that sweep many
+// configurations). On-disk cache files are kept — they are content
+// addressed, so they stay valid across runs. In-flight simulations
+// complete and are delivered to their waiters, but their results are no
+// longer cached for later callers.
 func ClearTraceCache() {
 	cacheMu.Lock()
 	traceCache = map[cacheKey]*cacheEntry{}
 	cacheMu.Unlock()
 	cacheHits.Store(0)
 	cacheMisses.Store(0)
+	diskHits.Store(0)
+	diskMisses.Store(0)
+	diskErrors.Store(0)
 }
