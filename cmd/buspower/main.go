@@ -8,7 +8,8 @@
 //	buspower -exp fig15,fig16 -quick
 //	buspower -exp all -o results/ -jobs 8 -v
 //	buspower -exp all -trace-cache /tmp/traces
-//	buspower bench -quick -out results/BENCH_PR3.json
+//	buspower -exp all -verify full
+//	buspower bench -quick -out results/BENCH_PR4.json
 //
 // Experiments run concurrently on a bounded worker pool (-jobs, default
 // GOMAXPROCS) with deterministic output: the printed TSVs are
@@ -22,7 +23,16 @@
 // os.UserCacheDir()/buspower/traces; override with -trace-cache, disable
 // with -no-disk-cache). Cache keys hash the program text, the core
 // configuration, the run bounds and the container format version, so a
-// stale entry can never be served.
+// stale entry can never be served. Whole evaluation results are further
+// memoized in-process (single-flight, LRU-bounded), so experiments that
+// revisit a (transcoder config, trace, Λ) point compute it once; -v
+// prints the memo's hit/miss counters.
+//
+// Decoder round-trip checking follows -verify: "sampled" (the default
+// for experiment runs) checks the first window of every trace live plus
+// a periodic sample replayed at the end; "full" checks every cycle;
+// "off" disables the self-check. The printed tables are bit-identical
+// under every policy — only the failure-detection latitude changes.
 //
 // The bench subcommand runs the kernel micro-benchmarks and an
 // end-to-end quick regeneration, writing a JSON report comparable across
@@ -42,6 +52,7 @@ import (
 	"time"
 
 	"buspower/internal/bench"
+	"buspower/internal/coding"
 	"buspower/internal/experiments"
 	"buspower/internal/report"
 	"buspower/internal/workload"
@@ -109,7 +120,7 @@ func runBench(args []string) error {
 	var (
 		quick    = fs.Bool("quick", false, "short per-kernel benchmark budget (CI smoke)")
 		skipE2E  = fs.Bool("skip-e2e", false, "skip the end-to-end -exp all -quick timing")
-		out      = fs.String("out", "results/BENCH_PR3.json", "write the JSON report to this file ('-' for stdout)")
+		out      = fs.String("out", "results/BENCH_PR4.json", "write the JSON report to this file ('-' for stdout)")
 		baseline = fs.String("baseline", "", "previous report to embed baseline numbers and speedups from")
 		quiet    = fs.Bool("q", false, "suppress per-kernel progress on stderr")
 	)
@@ -168,7 +179,8 @@ func run() error {
 		values    = flag.Int("values", 0, "override max captured bus values per workload (-1 = unlimited, 0 = keep the config's cap)")
 		jobs      = flag.Int("jobs", 0, "max concurrent workers across experiments and their sweeps (0 = GOMAXPROCS)")
 		outDir    = flag.String("o", "", "write one <id>.tsv per experiment into this directory instead of stdout")
-		verbose   = flag.Bool("v", false, "print per-experiment progress, wall times and trace-cache stats to stderr")
+		verbose   = flag.Bool("v", false, "print per-experiment progress, wall times and cache/memo stats to stderr")
+		verify    = flag.String("verify", "sampled", "decoder round-trip verification policy: full, sampled[:N] or off (results are bit-identical under all of them)")
 		reportOut = flag.String("report", "", "write a Markdown self-check report (paper vs measured) to this file ('-' for stdout)")
 		cacheDir  = flag.String("trace-cache", "", "persistent trace cache directory (default: the per-user cache dir)")
 		noDisk    = flag.Bool("no-disk-cache", false, "disable the persistent trace cache for this run")
@@ -211,6 +223,15 @@ func run() error {
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
+	// Experiment runs default to sampled verification: the meters read
+	// only the encoder output, so every policy prints identical tables —
+	// -verify=full re-proves each decode at the cost of running the
+	// decoder on every cycle (see EXPERIMENTS.md).
+	policy, err := coding.ParseVerifyPolicy(*verify)
+	if err != nil {
+		return err
+	}
+	cfg.Verify = policy
 	if *instrs > 0 {
 		cfg.Run.MaxInstructions = *instrs
 	}
@@ -282,6 +303,10 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "; disk %d hits / %d misses (%d errors) in %s", s.DiskHits, s.DiskMisses, s.DiskErrors, dir)
 		}
 		fmt.Fprintln(os.Stderr)
+		m := experiments.EvalMemoStats()
+		fmt.Fprintf(os.Stderr, "eval memo: %d hits / %d misses, %d evictions, %d entries", m.Hits, m.Misses, m.Evictions, m.Size)
+		r := experiments.RawMeterMemoStats()
+		fmt.Fprintf(os.Stderr, "; raw meters: %d hits / %d misses\n", r.Hits, r.Misses)
 	}
 	if err != nil {
 		return err

@@ -21,7 +21,10 @@ import (
 
 func flagSet(name, value string) error { return flag.Set(name, value) }
 
-var errDiskCacheCold = errors.New("bench: disk-warm pass had zero disk cache hits")
+var (
+	errDiskCacheCold = errors.New("bench: disk-warm pass had zero disk cache hits")
+	errEvalMemoCold  = errors.New("bench: memo-warm pass had zero eval memo hits")
+)
 
 // Kernel is one named micro-benchmark of a pipeline hot path.
 type Kernel struct {
@@ -42,6 +45,15 @@ func Kernels() []Kernel {
 		{"Context.Encode/16", benchContextEncode(16)},
 		{"Context.Encode/128", benchContextEncode(128)},
 		{"Coding.EvaluateSweep/window", benchEvaluateSweep},
+		{"Evaluate/window-8", benchEvaluateE2E(8, func() (coding.Transcoder, error) {
+			return coding.NewWindow(32, 8, 1)
+		})},
+		{"Evaluate/context-64", benchEvaluateE2E(48, func() (coding.Transcoder, error) {
+			return coding.NewContext(coding.ContextConfig{
+				Width: 32, TableSize: 64, ShiftEntries: 8,
+				DividePeriod: 4096, Lambda: 1,
+			})
+		})},
 		{"CPU.Simulate/li-50k", benchSimulate},
 		{"Trace.Write/120k", benchTraceWrite},
 		{"Trace.Read/120k", benchTraceRead},
@@ -167,6 +179,44 @@ func benchContextEncode(table int) func(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			enc.Encode(trace[i&8191])
+		}
+	}
+}
+
+// benchEvaluateE2E measures one whole Evaluator.Evaluate call — encode,
+// meter and decoder self-check — the way the experiment runners invoke it
+// (sampled verification, shared raw meter, reused evaluator scratch).
+// Before PR 4 this operation buffered the coded trace, metered it in a
+// second pass and ran the decoder on every cycle; the kernel name is
+// stable so the report tracks that same end-to-end operation across both
+// implementations.
+//
+// hot sizes the trace's working set to the scheme's capture range (at or
+// just under its dictionary capacity), so the kernel measures the
+// transcoder at its operating point — hit-dominated with a realistic miss
+// tail — rather than degenerating into a pure raw-send (miss path)
+// benchmark.
+func benchEvaluateE2E(hot int, build func() (coding.Transcoder, error)) func(b *testing.B) {
+	return func(b *testing.B) {
+		trace := dictTrace(8192, hot)
+		tc, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw := coding.MeasureRawValues(32, trace)
+		var ev coding.Evaluator
+		ev.Verify = coding.VerifySampled(0)
+		ev.Use(tc)
+		if _, err := ev.Evaluate(trace, 1, raw); err != nil { // warm scratch
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(trace)) * 8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Evaluate(trace, 1, raw); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }
@@ -318,13 +368,22 @@ func benchContainerRead(b *testing.B) {
 }
 
 // runE2E times one full quick-scale regeneration of every artifact through
-// the parallel engine in four states: cold (no caches — CPU simulation
-// included), warm (in-memory traces — the cost repeated reruns in one
-// process pay), disk-cold (an empty persistent cache directory being
-// populated), and disk-warm (memory cache emptied but the directory kept —
-// the cost a fresh process with a shipped cache dir pays).
+// the parallel engine in six states: cold (no caches — CPU simulation
+// included), warm (in-memory traces, result memo cleared — the recompute
+// cost with hot traces), memo-cold (identical inputs to warm: the eval
+// memo is cleared again, isolating the evaluation recompute the memo
+// exists to avoid), memo-warm (nothing cleared — the cost a rerun pays
+// once every Result is memoized), disk-cold (an empty persistent cache
+// directory being populated), and disk-warm (memory caches emptied but
+// the directory kept — the cost a fresh process with a shipped cache dir
+// pays). The eval memo is cleared before both disk phases so their
+// numbers stay comparable with pre-memo reports.
+//
+// E2E phases run under sampled verification like real experiment runs
+// (the CLI's -verify default); the tables are bit-identical either way.
 func runE2E() (*E2EResult, error) {
 	cfg := experiments.QuickConfig()
+	cfg.Verify = coding.VerifySampled(0)
 	ids, err := experiments.ResolveIDs("all")
 	if err != nil {
 		return nil, err
@@ -335,13 +394,29 @@ func runE2E() (*E2EResult, error) {
 		return len(tables), time.Since(start), err
 	}
 	workload.ClearTraceCache()
+	experiments.ClearEvalMemo()
 	tables, cold, err := runAll()
 	if err != nil {
 		return nil, err
 	}
+	experiments.ClearEvalMemo()
 	_, warm, err := runAll()
 	if err != nil {
 		return nil, err
+	}
+	experiments.ClearEvalMemo()
+	_, memoCold, err := runAll()
+	if err != nil {
+		return nil, err
+	}
+	_, memoWarm, err := runAll()
+	if err != nil {
+		return nil, err
+	}
+	if s := experiments.EvalMemoStats(); s.Hits == 0 {
+		// The memo-warm pass was supposed to be served from the memo; a
+		// zero here means the memo is broken and the timing is a lie.
+		return nil, errEvalMemoCold
 	}
 
 	// Disk phases run against a throwaway cache directory so the harness
@@ -357,11 +432,13 @@ func runE2E() (*E2EResult, error) {
 	}
 	defer workload.SetTraceCacheDir(prevDir)
 	workload.ClearTraceCache()
+	experiments.ClearEvalMemo()
 	_, diskCold, err := runAll()
 	if err != nil {
 		return nil, err
 	}
 	workload.ClearTraceCache() // memory only; the .trc files persist
+	experiments.ClearEvalMemo()
 	_, diskWarm, err := runAll()
 	if err != nil {
 		return nil, err
@@ -378,6 +455,8 @@ func runE2E() (*E2EResult, error) {
 		Tables:     tables,
 		ColdMS:     float64(cold.Microseconds()) / 1000,
 		WarmMS:     float64(warm.Microseconds()) / 1000,
+		MemoColdMS: float64(memoCold.Microseconds()) / 1000,
+		MemoWarmMS: float64(memoWarm.Microseconds()) / 1000,
 		DiskColdMS: float64(diskCold.Microseconds()) / 1000,
 		DiskWarmMS: float64(diskWarm.Microseconds()) / 1000,
 	}, nil

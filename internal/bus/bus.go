@@ -28,13 +28,22 @@ const MaxWidth = 64
 // Mask returns a Word with the low width bits set.
 // It panics if width is outside [0, MaxWidth].
 func Mask(width int) Word {
-	if width < 0 || width > MaxWidth {
-		panic(fmt.Sprintf("bus: invalid width %d", width))
+	if uint(width) > MaxWidth {
+		panicWidth(width)
 	}
-	if width == MaxWidth {
-		return ^Word(0)
-	}
-	return Word(1)<<uint(width) - 1
+	// Branchless across the whole [0, MaxWidth] range: Go defines
+	// over-wide shifts to yield 0, so width 0 masks to nothing and
+	// width 64 keeps every bit. Keeping the body this small lets Mask
+	// inline into the per-cycle encode/metering paths.
+	return ^Word(0) >> uint(MaxWidth-width)
+}
+
+// panicWidth is kept out of line so Mask itself stays under the inlining
+// budget — inlining the Sprintf panic path into Mask pushes it over.
+//
+//go:noinline
+func panicWidth(width int) {
+	panic(fmt.Sprintf("bus: invalid width %d", width))
 }
 
 // Transitions returns the transition vector between two successive bus
@@ -103,6 +112,19 @@ func CouplingPairs(prev, cur Word, width int) (single, opposite Word) {
 func Cost(prev, cur Word, width int, lambda float64) float64 {
 	return float64(TransitionCount(prev, cur, width)) +
 		lambda*float64(CouplingCount(prev, cur, width))
+}
+
+// CostMasked is Cost for callers that keep their states pre-masked and
+// hold the width's pair mask (Mask(width-1)) hoisted: the per-candidate
+// form encoders use when ranking bus states every cycle.
+func CostMasked(prev, cur, pairMask Word, lambda float64) float64 {
+	t := prev ^ cur
+	rising := cur &^ prev
+	falling := prev &^ cur
+	single := (t ^ (t >> 1)) & pairMask
+	opposite := ((rising & (falling >> 1)) | (falling & (rising >> 1))) & pairMask
+	return float64(Weight(t)) +
+		lambda*float64(Weight(single)+2*Weight(opposite))
 }
 
 // ExpectedSelfCoupling returns the expected number of coupling events

@@ -154,6 +154,147 @@ func recordAll[T ~uint64](m *Meter, vals []T) {
 	m.cycles += uint64(len(vals))
 }
 
+// streamChunk is the MeterStream staging capacity: large enough to
+// amortize the batch accounting loop, small enough to stay resident in L1
+// (2KB) and keep the stream stack-allocatable.
+const streamChunk = 256
+
+// MeterStream is the incremental batch-recording front-end of a Meter: a
+// producer can meter each bus word as it is generated — no O(n) scratch
+// trace buffer, no second pass — at RecordTrace's per-cycle cost. Record
+// itself is a tiny inlinable append into a fixed-size staging chunk;
+// every streamChunk words the chunk is drained through the same hoisted
+// word-parallel loop as the RecordTrace fast path. Obtain one with
+// Stream, Record words through it, and Flush to fold the accumulated
+// statistics back into the Meter.
+//
+// A stream is a plain value (no heap allocation) and must not be copied
+// while in use. Until Flush, the Meter itself does not observe the
+// streamed cycles; interleaving direct Meter.Record calls with an
+// unflushed stream is unsupported.
+type MeterStream struct {
+	m              *Meter
+	mask, pairMask Word
+	prev           Word
+	started        bool
+	detailed       bool
+	cycles         uint64
+	transitions    uint64
+	couplings      uint64
+	n              int
+	buf            [streamChunk]Word
+}
+
+// Stream returns an incremental recorder continuing from the meter's
+// current state.
+func (m *Meter) Stream() MeterStream {
+	var s MeterStream
+	m.StreamInto(&s)
+	return s
+}
+
+// StreamInto rebinds an existing MeterStream to m in place, continuing
+// from the meter's current state. It exists for callers that keep the
+// stream (whose chunk buffer makes it a large value) as long-lived
+// scratch instead of building a fresh one per trace; any staged or
+// accumulated state from a previous binding is discarded, so the previous
+// use must have ended with Flush.
+func (m *Meter) StreamInto(s *MeterStream) {
+	s.m = m
+	s.mask = m.mask
+	s.pairMask = m.pairMask
+	s.prev = m.prev
+	s.started = m.started
+	s.detailed = m.perWire != nil
+	s.cycles, s.transitions, s.couplings = 0, 0, 0
+	s.n = 0
+}
+
+// Record accounts one cycle in which the bus settles to state w,
+// equivalent to Meter.Record once the stream is flushed.
+func (s *MeterStream) Record(w Word) {
+	if s.n == streamChunk {
+		s.drain()
+	}
+	s.buf[s.n] = w
+	s.n++
+}
+
+// drain accounts the staged words with the same local-accumulator batch
+// arithmetic as Meter.recordAll.
+func (s *MeterStream) drain() {
+	if s.n == 0 {
+		return
+	}
+	vals := s.buf[:s.n]
+	s.n = 0
+	s.cycles += uint64(len(vals))
+	i := 0
+	if !s.started {
+		s.started = true
+		s.prev = vals[0] & s.mask
+		i = 1
+	}
+	prev := s.prev
+	if s.detailed {
+		// Histogram meters reuse the shared account path, which also
+		// accumulates the Σ totals directly on the meter — the stream's
+		// own Σ accumulators stay zero, so Flush never double-counts.
+		for _, w := range vals[i:] {
+			w &= s.mask
+			if t := prev ^ w; t != 0 {
+				s.m.account(prev, w, t)
+			}
+			prev = w
+		}
+		s.prev = prev
+		return
+	}
+	mask, pairMask := s.mask, s.pairMask
+	var transitions, couplings uint64
+	for _, w := range vals[i:] {
+		w &= mask
+		if t := prev ^ w; t != 0 {
+			transitions += uint64(bits.OnesCount64(uint64(t)))
+			rising := w &^ prev
+			falling := prev &^ w
+			single := (t ^ (t >> 1)) & pairMask
+			opposite := ((rising & (falling >> 1)) | (falling & (rising >> 1))) & pairMask
+			couplings += uint64(bits.OnesCount64(uint64(single))) + 2*uint64(bits.OnesCount64(uint64(opposite)))
+		}
+		prev = w
+	}
+	s.prev = prev
+	s.transitions += transitions
+	s.couplings += couplings
+}
+
+// Flush drains the staging chunk and folds the streamed statistics into
+// the Meter. The stream remains usable: further Record calls continue
+// from the flushed state.
+func (s *MeterStream) Flush() {
+	s.drain()
+	m := s.m
+	m.transitions += s.transitions
+	m.couplings += s.couplings
+	m.cycles += s.cycles
+	m.prev = s.prev
+	m.started = s.started
+	s.cycles, s.transitions, s.couplings = 0, 0, 0
+}
+
+// Clone returns an independent copy of the meter, histograms included.
+// Cloning detaches a measurement from a Meter that will be Reset and
+// reused (as coding.Evaluator does with its coded-bus meter).
+func (m *Meter) Clone() *Meter {
+	c := *m
+	if m.perWire != nil {
+		c.perWire = append([]uint64(nil), m.perWire...)
+		c.perPair = append([]uint64(nil), m.perPair...)
+	}
+	return &c
+}
+
 // Cycles returns the number of recorded cycles (including the first).
 func (m *Meter) Cycles() uint64 { return m.cycles }
 

@@ -176,3 +176,123 @@ func TestMeterRecordAllocs(t *testing.T) {
 		t.Fatalf("Meter.RecordTrace allocates %v times per op, want 0", allocs)
 	}
 }
+
+// TestMeterStreamMatchesBatch is the property test for the incremental
+// recording front-end: streaming each word through MeterStream.Record
+// (with flushes interleaved at arbitrary points) must equal the buffered
+// Record(0)+RecordTrace(buf) path on every statistic, for lite and
+// histogram meters across widths.
+func TestMeterStreamMatchesBatch(t *testing.T) {
+	for _, width := range []int{1, 2, 33, 64} {
+		for _, detailed := range []bool{false, true} {
+			trace := randomTrace(t, 3000, width, int64(width)*104729+boolSeed(detailed))
+			mk := NewMeterLite
+			if detailed {
+				mk = NewMeter
+			}
+			batch := mk(width)
+			batch.Record(0)
+			batch.RecordTrace(trace)
+
+			streamed := mk(width)
+			st := streamed.Stream()
+			st.Record(0)
+			for i, w := range trace {
+				st.Record(w)
+				if i%997 == 0 {
+					st.Flush() // the stream must survive interleaved flushes
+				}
+			}
+			st.Flush()
+
+			if streamed.Cycles() != batch.Cycles() ||
+				streamed.Transitions() != batch.Transitions() ||
+				streamed.Couplings() != batch.Couplings() ||
+				streamed.State() != batch.State() {
+				t.Fatalf("width %d detailed=%v: stream (%d,%d,%d,%#x) != batch (%d,%d,%d,%#x)",
+					width, detailed,
+					streamed.Cycles(), streamed.Transitions(), streamed.Couplings(), streamed.State(),
+					batch.Cycles(), batch.Transitions(), batch.Couplings(), batch.State())
+			}
+			if detailed {
+				for n := 0; n < width; n++ {
+					if streamed.WireTransitions(n) != batch.WireTransitions(n) {
+						t.Fatalf("width %d wire %d: stream %d != batch %d",
+							width, n, streamed.WireTransitions(n), batch.WireTransitions(n))
+					}
+				}
+				for n := 0; n < width-1; n++ {
+					if streamed.PairCouplings(n) != batch.PairCouplings(n) {
+						t.Fatalf("width %d pair %d: stream %d != batch %d",
+							width, n, streamed.PairCouplings(n), batch.PairCouplings(n))
+					}
+				}
+			}
+		}
+	}
+}
+
+func boolSeed(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestMeterStreamContinuesMeter pins that a stream picks up the meter's
+// current bus state (no phantom transition at the splice point) and that
+// the meter observes the streamed cycles only after Flush.
+func TestMeterStreamContinuesMeter(t *testing.T) {
+	m := NewMeterLite(8)
+	m.Record(0)
+	m.Record(0xFF)
+	st := m.Stream()
+	st.Record(0xFF) // quiet cycle across the splice: must cost nothing
+	st.Record(0x00)
+	if m.Cycles() != 2 {
+		t.Fatalf("meter observed streamed cycles before Flush: %d cycles", m.Cycles())
+	}
+	st.Flush()
+	want := NewMeterLite(8)
+	for _, w := range []Word{0, 0xFF, 0xFF, 0} {
+		want.Record(w)
+	}
+	if m.Cycles() != want.Cycles() || m.Transitions() != want.Transitions() || m.Couplings() != want.Couplings() {
+		t.Fatalf("spliced stream (%d,%d,%d) != contiguous (%d,%d,%d)",
+			m.Cycles(), m.Transitions(), m.Couplings(), want.Cycles(), want.Transitions(), want.Couplings())
+	}
+}
+
+// TestMeterCloneDetaches verifies Clone copies every statistic and that
+// mutating the original afterwards leaves the clone untouched.
+func TestMeterCloneDetaches(t *testing.T) {
+	m := NewMeter(8)
+	m.RecordTrace(randomTrace(t, 200, 8, 11))
+	c := m.Clone()
+	wantCycles, wantTrans, wantCoup := m.Cycles(), m.Transitions(), m.Couplings()
+	wantWire0, wantPair0 := m.WireTransitions(0), m.PairCouplings(0)
+	m.RecordTrace(randomTrace(t, 200, 8, 13))
+	if c.Cycles() != wantCycles || c.Transitions() != wantTrans || c.Couplings() != wantCoup {
+		t.Fatalf("clone mutated by original: (%d,%d,%d) != (%d,%d,%d)",
+			c.Cycles(), c.Transitions(), c.Couplings(), wantCycles, wantTrans, wantCoup)
+	}
+	if c.WireTransitions(0) != wantWire0 || c.PairCouplings(0) != wantPair0 {
+		t.Fatalf("clone histograms share storage with original")
+	}
+}
+
+// TestMeterStreamAllocs: the streaming front-end is a hot-loop citizen —
+// 0 allocs/op for construction, Record and Flush.
+func TestMeterStreamAllocs(t *testing.T) {
+	trace := randomTrace(t, 256, 32, 17)
+	m := NewMeterLite(32)
+	if allocs := testing.AllocsPerRun(100, func() {
+		st := m.Stream()
+		for _, w := range trace {
+			st.Record(w)
+		}
+		st.Flush()
+	}); allocs != 0 {
+		t.Fatalf("MeterStream path allocates %v times per op, want 0", allocs)
+	}
+}

@@ -31,16 +31,26 @@ const (
 	modeRawInverted
 )
 
-// channel is the encoder-side bus driver.
+// channel is the encoder-side bus driver. The data and pair masks are
+// hoisted into the struct at construction: sendRaw ranks two candidate
+// bus states every raw cycle, and recomputing masks per candidate
+// dominated the encode profile.
 type channel struct {
-	width  int     // data wires
-	lambda float64 // assumed Λ for the raw-vs-inverted choice
-	state  bus.Word
+	width    int     // data wires
+	lambda   float64 // assumed Λ for the raw-vs-inverted choice
+	state    bus.Word
+	dataMask bus.Word // Mask(width)
+	pairMask bus.Word // Mask(busWidth-1): adjacent pairs incl. control wires
 }
 
 func newChannel(width int, lambda float64) channel {
 	checkWidth(width)
-	return channel{width: width, lambda: lambda}
+	return channel{
+		width:    width,
+		lambda:   lambda,
+		dataMask: bus.Mask(width),
+		pairMask: bus.Mask(width + 1),
+	}
 }
 
 func (c *channel) busWidth() int { return c.width + 2 }
@@ -50,7 +60,7 @@ func (c *channel) ctrlInv() bus.Word { return bus.Word(1) << uint(c.width+1) }
 
 // sendCode applies the codeword as a transition vector to the data wires.
 func (c *channel) sendCode(code bus.Word) bus.Word {
-	c.state ^= code & bus.Mask(c.width)
+	c.state ^= code & c.dataMask
 	return c.state
 }
 
@@ -58,13 +68,11 @@ func (c *channel) sendCode(code bus.Word) bus.Word {
 // toggles the corresponding control wire. It reports whether the inverted
 // form was chosen.
 func (c *channel) sendRaw(v uint64) (bus.Word, bool) {
-	dataMask := bus.Mask(c.width)
-	keep := c.state &^ dataMask
-	candRaw := (keep | bus.Word(v)&dataMask) ^ c.ctrlRaw()
-	candInv := (keep | ^bus.Word(v)&dataMask) ^ c.ctrlInv()
-	w := c.busWidth()
-	costRaw := bus.Cost(c.state, candRaw, w, c.lambda)
-	costInv := bus.Cost(c.state, candInv, w, c.lambda)
+	keep := c.state &^ c.dataMask
+	candRaw := (keep | bus.Word(v)&c.dataMask) ^ c.ctrlRaw()
+	candInv := (keep | ^bus.Word(v)&c.dataMask) ^ c.ctrlInv()
+	costRaw := bus.CostMasked(c.state, candRaw, c.pairMask, c.lambda)
+	costInv := bus.CostMasked(c.state, candInv, c.pairMask, c.lambda)
 	if costInv < costRaw {
 		c.state = candInv
 		return c.state, true

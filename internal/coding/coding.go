@@ -56,6 +56,16 @@ type Decoder interface {
 	Reset()
 }
 
+// streamEncoder is implemented by encoders that can run their per-cycle
+// loop in bulk, recording each coded word straight into a MeterStream.
+// Evaluate uses it for the unverified stretches of a trace, eliminating
+// the per-cycle interface dispatch there; encodeStream must mutate the
+// encoder exactly as the equivalent sequence of Encode calls would
+// (differential tests compare the two paths cycle-for-cycle).
+type streamEncoder interface {
+	encodeStream(vals []uint64, st *bus.MeterStream)
+}
+
 // OpReporter is implemented by encoders that track the hardware operations
 // (match probes, shifts, counter activity, ...) they would perform, for
 // the circuit-level energy model of §5.
@@ -208,64 +218,78 @@ func MustEvaluateShared(t Transcoder, trace []uint64, lambda float64, raw *bus.M
 }
 
 // Evaluator runs transcoder evaluations while reusing encoder/decoder
-// state (via Reset) and its coded-trace scratch buffer across calls, so a
-// sweep's inner loop allocates nothing per evaluation beyond what a
-// freshly built transcoder itself requires.
+// state (via Reset), its coded-bus meter and its verification scratch
+// across calls, so a sweep's inner loop allocates nothing per evaluation
+// beyond what a freshly built transcoder itself requires.
+//
+// Verify selects the decoder round-trip policy for Evaluate; the zero
+// value is VerifyFull (see VerifyPolicy).
 type Evaluator struct {
+	// Verify is the decoder round-trip policy applied by Evaluate.
+	Verify VerifyPolicy
+
 	t       Transcoder
+	key     string // ConfigKey(t)
 	enc     Encoder
 	dec     Decoder
 	width   int
 	mask    uint64
-	scratch []bus.Word
+	scratch []bus.Word      // coded-trace buffer, used only by EvaluateBuffered
+	coded   *bus.Meter      // reused coded-bus meter; see Evaluate's ownership note
+	stream  bus.MeterStream // reused chunked recorder over coded (large value; kept
+	// here so passing its address to a streamEncoder never forces a heap copy)
+	sample []uint64 // sampled-verification value collection
+	venc   Encoder  // fresh-pair replay codec for sampled verification,
+	vdec   Decoder  // built lazily on the first sampled Evaluate
 }
 
-// Use selects the transcoder for subsequent Evaluate calls, constructing
-// a fresh encoder/decoder pair unless t is the one already in use.
+// Use selects the transcoder for subsequent Evaluate calls. A fresh
+// encoder/decoder pair is constructed only when t's configuration
+// (ConfigKey) differs from the one already in use — semantically
+// identical transcoders rebuilt by a sweep's inner loop reuse the
+// existing scratch instead of reallocating.
 func (ev *Evaluator) Use(t Transcoder) {
-	if ev.t == t && ev.enc != nil {
+	if ev.enc != nil && ev.t == t {
+		return
+	}
+	key := ConfigKey(t)
+	if ev.enc != nil && key == ev.key {
+		ev.t = t // equal keys encode identically; adopt the new instance
 		return
 	}
 	ev.t = t
+	ev.key = key
 	ev.enc = t.NewEncoder()
 	ev.dec = t.NewDecoder()
+	ev.venc, ev.vdec = nil, nil
+	ev.coded = nil
 	ev.width = t.DataWidth()
 	ev.mask = uint64(bus.Mask(ev.width))
 }
 
-// Evaluate runs the selected transcoder over the trace from its initial
-// state (the encoder/decoder are Reset, not reallocated). raw, when
-// non-nil, is a pre-measured raw-bus meter for this trace at the
-// transcoder's data width; nil measures it here.
-func (ev *Evaluator) Evaluate(trace []uint64, lambda float64, raw *bus.Meter) (Result, error) {
-	if ev.t == nil {
-		return Result{}, fmt.Errorf("coding: Evaluator has no transcoder (call Use first)")
+// codedMeter returns the evaluator's reused Σ-only coded-bus meter, reset
+// and sized to the current encoder's bus width.
+func (ev *Evaluator) codedMeter() *bus.Meter {
+	w := ev.enc.BusWidth()
+	if ev.coded == nil || ev.coded.Width() != w {
+		ev.coded = bus.NewMeterLite(w)
+	} else {
+		ev.coded.Reset()
 	}
-	ev.enc.Reset()
-	ev.dec.Reset()
+	return ev.coded
+}
+
+func (ev *Evaluator) checkRaw(trace []uint64, raw *bus.Meter) (*bus.Meter, error) {
 	if raw == nil {
-		raw = MeasureRawValues(ev.width, trace)
-	} else if raw.Width() != ev.width {
-		return Result{}, fmt.Errorf("coding: shared raw meter width %d != %s data width %d", raw.Width(), ev.t.Name(), ev.width)
+		return MeasureRawValues(ev.width, trace), nil
 	}
-	buf := ev.scratch[:0]
-	if cap(buf) < len(trace) {
-		buf = make([]bus.Word, 0, len(trace))
+	if raw.Width() != ev.width {
+		return nil, fmt.Errorf("coding: shared raw meter width %d != %s data width %d", raw.Width(), ev.t.Name(), ev.width)
 	}
-	for i, v := range trace {
-		v &= ev.mask
-		w := ev.enc.Encode(v)
-		if got := ev.dec.Decode(w); got != v {
-			return Result{}, fmt.Errorf("coding: %s decoder diverged at cycle %d: sent %#x, decoded %#x", ev.t.Name(), i, v, got)
-		}
-		buf = append(buf, w)
-	}
-	ev.scratch = buf
-	// The coded bus powers up in the all-zero state (the encoder's initial
-	// channel state), so the first word sent is charged like any other.
-	coded := bus.NewMeterLite(ev.enc.BusWidth())
-	coded.Record(0)
-	coded.RecordTrace(buf)
+	return raw, nil
+}
+
+func (ev *Evaluator) result(raw, coded *bus.Meter, lambda float64) Result {
 	res := Result{
 		Scheme:     ev.t.Name(),
 		DataWidth:  ev.width,
@@ -277,7 +301,182 @@ func (ev *Evaluator) Evaluate(trace []uint64, lambda float64, raw *bus.Meter) (R
 	if or, ok := ev.enc.(OpReporter); ok {
 		res.Ops = or.Ops()
 	}
-	return res, nil
+	return res
+}
+
+func (ev *Evaluator) divergence(i int, sent, got uint64) error {
+	return fmt.Errorf("coding: %s decoder diverged at cycle %d: sent %#x, decoded %#x", ev.t.Name(), i, sent, got)
+}
+
+// Evaluate runs the selected transcoder over the trace from its initial
+// state (the encoder/decoder are Reset, not reallocated), metering each
+// coded word as the encoder produces it — the coded trace is never
+// buffered. The decoder round-trip self-check follows ev.Verify; every
+// policy yields a bit-identical Result (see VerifyPolicy, and
+// EvaluateBuffered for the retained two-pass reference).
+//
+// raw, when non-nil, is a pre-measured raw-bus meter for this trace at
+// the transcoder's data width; nil measures it here.
+//
+// Ownership: the returned Result's Coded meter belongs to the Evaluator
+// and is overwritten by the next Evaluate call. Callers that retain
+// Results past that point must detach it with Result.Coded.Clone() (or
+// use EvaluateShared, whose throwaway Evaluator never reuses it).
+func (ev *Evaluator) Evaluate(trace []uint64, lambda float64, raw *bus.Meter) (Result, error) {
+	if ev.t == nil {
+		return Result{}, fmt.Errorf("coding: Evaluator has no transcoder (call Use first)")
+	}
+	ev.enc.Reset()
+	raw, err := ev.checkRaw(trace, raw)
+	if err != nil {
+		return Result{}, err
+	}
+	coded := ev.codedMeter()
+	// The coded bus powers up in the all-zero state (the encoder's initial
+	// channel state), so the first word sent is charged like any other.
+	st := &ev.stream
+	coded.StreamInto(st)
+	st.Record(0)
+	switch ev.Verify.mode {
+	case verifyFull:
+		ev.dec.Reset()
+		for i, v := range trace {
+			v &= ev.mask
+			w := ev.enc.Encode(v)
+			if got := ev.dec.Decode(w); got != v {
+				return Result{}, ev.divergence(i, v, got)
+			}
+			st.Record(w)
+		}
+	case verifySampled:
+		ev.dec.Reset()
+		n := len(trace)
+		every := ev.Verify.every
+		ev.sample = ev.sample[:0]
+		// The loop is split at the window boundaries so the long middle
+		// stretch carries no per-cycle verification branches (and no i%every
+		// division — the next sample index is tracked by a counter).
+		head := min(VerifyWindow, n)
+		tail := max(n-VerifyWindow, head)
+		for i := 0; i < head; i++ {
+			v := trace[i] & ev.mask
+			w := ev.enc.Encode(v)
+			if got := ev.dec.Decode(w); got != v {
+				return Result{}, ev.divergence(i, v, got)
+			}
+			st.Record(w)
+		}
+		next := (head + every - 1) / every * every
+		if se, ok := ev.enc.(streamEncoder); ok {
+			// Bulk-encode the unsampled runs between consecutive sample
+			// indices; the sampled cycle itself goes through Encode so the
+			// value lands in ev.sample.
+			for i := head; i < tail; {
+				stop := tail
+				if next < tail {
+					stop = next
+				}
+				se.encodeStream(trace[i:stop], st)
+				i = stop
+				if i < tail {
+					v := trace[i] & ev.mask
+					st.Record(ev.enc.Encode(v))
+					ev.sample = append(ev.sample, v)
+					next += every
+					i++
+				}
+			}
+		} else {
+			for i := head; i < tail; i++ {
+				v := trace[i] & ev.mask
+				w := ev.enc.Encode(v)
+				if i == next {
+					ev.sample = append(ev.sample, v)
+					next += every
+				}
+				st.Record(w)
+			}
+		}
+		for i := tail; i < n; i++ {
+			v := trace[i] & ev.mask
+			w := ev.enc.Encode(v)
+			ev.sample = append(ev.sample, v)
+			st.Record(w)
+		}
+		if err := ev.replaySample(); err != nil {
+			return Result{}, err
+		}
+	case verifyOff:
+		if se, ok := ev.enc.(streamEncoder); ok {
+			se.encodeStream(trace, st)
+		} else {
+			for _, v := range trace {
+				w := ev.enc.Encode(v & ev.mask)
+				st.Record(w)
+			}
+		}
+	}
+	st.Flush()
+	return ev.result(raw, coded, lambda), nil
+}
+
+// replaySample round-trips the collected sample values through a fresh
+// encoder/decoder pair (see VerifyPolicy: any value sequence must
+// round-trip from reset, so a mismatch here is a real codec bug).
+func (ev *Evaluator) replaySample() error {
+	if len(ev.sample) == 0 {
+		return nil
+	}
+	if ev.venc == nil {
+		ev.venc = ev.t.NewEncoder()
+		ev.vdec = ev.t.NewDecoder()
+	} else {
+		ev.venc.Reset()
+		ev.vdec.Reset()
+	}
+	for j, v := range ev.sample {
+		w := ev.venc.Encode(v)
+		if got := ev.vdec.Decode(w); got != v {
+			return fmt.Errorf("coding: %s sampled-verification replay diverged at sample %d: sent %#x, decoded %#x", ev.t.Name(), j, v, got)
+		}
+	}
+	return nil
+}
+
+// EvaluateBuffered is the two-pass reference implementation of Evaluate:
+// it buffers the whole coded trace, verifies the decoder on every cycle
+// regardless of ev.Verify, and meters the buffer afterwards. It is
+// retained as the differential-testing and benchmarking baseline for the
+// fused streaming path; the two must produce bit-identical Results.
+// Unlike Evaluate it allocates a fresh coded meter per call, so its
+// Results are caller-owned.
+func (ev *Evaluator) EvaluateBuffered(trace []uint64, lambda float64, raw *bus.Meter) (Result, error) {
+	if ev.t == nil {
+		return Result{}, fmt.Errorf("coding: Evaluator has no transcoder (call Use first)")
+	}
+	ev.enc.Reset()
+	ev.dec.Reset()
+	raw, err := ev.checkRaw(trace, raw)
+	if err != nil {
+		return Result{}, err
+	}
+	buf := ev.scratch[:0]
+	if cap(buf) < len(trace) {
+		buf = make([]bus.Word, 0, len(trace))
+	}
+	for i, v := range trace {
+		v &= ev.mask
+		w := ev.enc.Encode(v)
+		if got := ev.dec.Decode(w); got != v {
+			return Result{}, ev.divergence(i, v, got)
+		}
+		buf = append(buf, w)
+	}
+	ev.scratch = buf
+	coded := bus.NewMeterLite(ev.enc.BusWidth())
+	coded.Record(0)
+	coded.RecordTrace(buf)
+	return ev.result(raw, coded, lambda), nil
 }
 
 // MustEvaluate is Evaluate but panics on decoder divergence; for use in

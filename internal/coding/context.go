@@ -86,6 +86,12 @@ func NewContext(cfg ContextConfig) (*ContextTranscoder, error) {
 // Name implements Transcoder.
 func (t *ContextTranscoder) Name() string { return t.name }
 
+// ConfigKey implements ConfigKeyer: the name omits the width, divide
+// period and assumed Λ, all of which change the coded stream.
+func (t *ContextTranscoder) ConfigKey() string {
+	return fmt.Sprintf("%s-d%d/w%d/l%g", t.name, t.cfg.DividePeriod, t.cfg.Width, t.cfg.Lambda)
+}
+
 // DataWidth implements Transcoder.
 func (t *ContextTranscoder) DataWidth() int { return t.cfg.Width }
 
@@ -147,8 +153,8 @@ type contextState struct {
 	last   uint64
 	cycle  uint64
 
-	tableIndex  map[ctxKey]int
-	srIndex     map[ctxKey]int
+	tableIndex  *ctxIndex
+	srIndex     *ctxIndex
 	tableBytes  [256]uint32
 	srBytes     [256]uint32
 	pendingBits []uint64
@@ -164,10 +170,10 @@ func newContextState(cfg ContextConfig) contextState {
 		pendingBits: make([]uint64, (cfg.TableSize+63)/64),
 	}
 	if cfg.TableSize >= contextIndexMinEntries {
-		s.tableIndex = make(map[ctxKey]int, cfg.TableSize)
+		s.tableIndex = newCtxIndex(cfg.TableSize)
 	}
 	if cfg.ShiftEntries >= contextIndexMinEntries {
-		s.srIndex = make(map[ctxKey]int, cfg.ShiftEntries)
+		s.srIndex = newCtxIndex(cfg.ShiftEntries)
 	}
 	return s
 }
@@ -250,10 +256,10 @@ func (s *contextState) swap(e int) {
 	s.setPendingBit(e-1, s.table[e-1].pending)
 	if s.tableIndex != nil {
 		if s.table[e].valid {
-			s.tableIndex[s.table[e].key] = e
+			s.tableIndex.put(s.table[e].key, e)
 		}
 		if s.table[e-1].valid {
-			s.tableIndex[s.table[e-1].key] = e - 1
+			s.tableIndex.put(s.table[e-1].key, e-1)
 		}
 	}
 	if s.ops != nil {
@@ -277,10 +283,7 @@ func (s *contextState) increment(e int) {
 // Invariant 1 makes valid keys unique.
 func (s *contextState) findTable(key ctxKey) int {
 	if s.tableIndex != nil {
-		if i, ok := s.tableIndex[key]; ok {
-			return i
-		}
-		return -1
+		return s.tableIndex.get(key)
 	}
 	for i := range s.table {
 		if s.table[i].valid && s.table[i].key == key {
@@ -293,10 +296,7 @@ func (s *contextState) findTable(key ctxKey) int {
 // findSR returns the shift-register slot holding key, or -1.
 func (s *contextState) findSR(key ctxKey) int {
 	if s.srIndex != nil {
-		if i, ok := s.srIndex[key]; ok {
-			return i
-		}
-		return -1
+		return s.srIndex.get(key)
 	}
 	for i := range s.sr {
 		if s.sr[i].valid && s.sr[i].key == key {
@@ -337,12 +337,12 @@ func (s *contextState) insertSR(key ctxKey) {
 	if evicted.valid {
 		s.srBytes[byte(evicted.key.cur)]--
 		if s.srIndex != nil {
-			delete(s.srIndex, evicted.key)
+			s.srIndex.del(evicted.key)
 		}
 	}
 	s.srBytes[byte(key.cur)]++
 	if s.srIndex != nil {
-		s.srIndex[key] = s.srHead
+		s.srIndex.put(key, s.srHead)
 	}
 	s.srHead++
 	if s.srHead == len(s.sr) {
@@ -374,14 +374,14 @@ func (s *contextState) insertSR(key ctxKey) {
 		if old.valid {
 			s.tableBytes[byte(old.key.cur)]--
 			if s.tableIndex != nil {
-				delete(s.tableIndex, old.key)
+				s.tableIndex.del(old.key)
 			}
 		}
 		s.table[bottom] = tableEntry{key: evicted.key, count: count, valid: true}
 		s.setPendingBit(bottom, false)
 		s.tableBytes[byte(evicted.key.cur)]++
 		if s.tableIndex != nil {
-			s.tableIndex[evicted.key] = bottom
+			s.tableIndex.put(evicted.key, bottom)
 		}
 		if s.ops != nil {
 			s.ops.TableWrites++
@@ -400,10 +400,10 @@ func (s *contextState) reset() {
 	s.last = 0
 	s.cycle = 0
 	if s.tableIndex != nil {
-		clear(s.tableIndex)
+		s.tableIndex.clear()
 	}
 	if s.srIndex != nil {
-		clear(s.srIndex)
+		s.srIndex.clear()
 	}
 	s.tableBytes = [256]uint32{}
 	s.srBytes = [256]uint32{}
@@ -430,8 +430,8 @@ func (s *contextState) checkInvariants() error {
 		}
 		seen[e.key] = true
 		if s.tableIndex != nil {
-			if got, ok := s.tableIndex[e.key]; !ok || got != i {
-				return fmt.Errorf("table index out of sync for key %+v: got %d ok=%v want %d", e.key, got, ok, i)
+			if got := s.tableIndex.get(e.key); got != i {
+				return fmt.Errorf("table index out of sync for key %+v: got %d want %d", e.key, got, i)
 			}
 		}
 		if i > 0 && s.table[i-1].valid && e.count > s.table[i-1].count {
@@ -447,8 +447,8 @@ func (s *contextState) checkInvariants() error {
 			return fmt.Errorf("invariant 1 violated: key %+v in both table and shift register", e.key)
 		}
 		if s.srIndex != nil {
-			if got, ok := s.srIndex[e.key]; !ok || got != i {
-				return fmt.Errorf("sr index out of sync for key %+v: got %d ok=%v want %d", e.key, got, ok, i)
+			if got := s.srIndex.get(e.key); got != i {
+				return fmt.Errorf("sr index out of sync for key %+v: got %d want %d", e.key, got, i)
 			}
 		}
 	}
@@ -465,8 +465,8 @@ func (s *contextState) checkInvariants() error {
 				valid++
 			}
 		}
-		if len(s.tableIndex) != valid {
-			return fmt.Errorf("table index holds %d keys, want %d", len(s.tableIndex), valid)
+		if s.tableIndex.len() != valid {
+			return fmt.Errorf("table index holds %d keys, want %d", s.tableIndex.len(), valid)
 		}
 	}
 	if s.srIndex != nil {
@@ -476,8 +476,8 @@ func (s *contextState) checkInvariants() error {
 				valid++
 			}
 		}
-		if len(s.srIndex) != valid {
-			return fmt.Errorf("sr index holds %d keys, want %d", len(s.srIndex), valid)
+		if s.srIndex.len() != valid {
+			return fmt.Errorf("sr index holds %d keys, want %d", s.srIndex.len(), valid)
 		}
 	}
 	return nil
@@ -492,7 +492,7 @@ type contextEncoder struct {
 
 func (e *contextEncoder) Encode(v uint64) bus.Word {
 	t := e.t
-	v &= uint64(bus.Mask(t.cfg.Width))
+	v &= uint64(e.ch.dataMask)
 	e.st.ops = &e.ops
 	e.ops.Cycles++
 	e.st.step()

@@ -1,0 +1,124 @@
+package coding
+
+import "math/bits"
+
+// ctxIndex is a small open-addressing hash index from ctxKey to a slot
+// number, replacing map[ctxKey]int in the per-cycle encode/decode paths.
+// The dictionary FSMs probe it several times per bus cycle (classification,
+// frequency update, and two reassignments per sort swap), where the
+// runtime map's generic machinery — 128-bit key hashing and bucket
+// group probing — dominated the encode profile. This index is linear
+// probing over three parallel arrays at ≤¼ load, with the classical
+// backward-shift deletion so probe chains never accumulate tombstones.
+//
+// Capacity is fixed at construction: the callers index fixed-size
+// hardware tables whose entry count never grows past the size they were
+// built with (Invariant 1 keeps live keys unique).
+type ctxIndex struct {
+	keys  []ctxKey
+	slots []int32
+	used  []bool
+	mask  uint32
+	n     int
+}
+
+// newCtxIndex returns an index able to hold capacity keys at ≤¼ load.
+func newCtxIndex(capacity int) *ctxIndex {
+	size := 16
+	for size < 4*capacity {
+		size <<= 1
+	}
+	return &ctxIndex{
+		keys:  make([]ctxKey, size),
+		slots: make([]int32, size),
+		used:  make([]bool, size),
+		mask:  uint32(size - 1),
+	}
+}
+
+// hashCtxKey mixes both words of the key (splitmix64-style finalizer);
+// value-based keys leave prev zero, which costs one dead multiply.
+func hashCtxKey(k ctxKey) uint64 {
+	h := k.cur*0x9E3779B97F4A7C15 ^ bits.RotateLeft64(k.prev*0xBF58476D1CE4E5B9, 31)
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+// get returns the slot stored for k, or -1.
+func (ix *ctxIndex) get(k ctxKey) int {
+	i := uint32(hashCtxKey(k)) & ix.mask
+	for ix.used[i] {
+		if ix.keys[i] == k {
+			return int(ix.slots[i])
+		}
+		i = (i + 1) & ix.mask
+	}
+	return -1
+}
+
+// put stores slot for k, overwriting any previous entry for the same key.
+func (ix *ctxIndex) put(k ctxKey, slot int) {
+	i := uint32(hashCtxKey(k)) & ix.mask
+	for ix.used[i] {
+		if ix.keys[i] == k {
+			ix.slots[i] = int32(slot)
+			return
+		}
+		i = (i + 1) & ix.mask
+	}
+	ix.keys[i] = k
+	ix.slots[i] = int32(slot)
+	ix.used[i] = true
+	ix.n++
+}
+
+// del removes k if present, backward-shifting the probe chain so that
+// every remaining key stays reachable from its home position.
+func (ix *ctxIndex) del(k ctxKey) {
+	mask := ix.mask
+	i := uint32(hashCtxKey(k)) & mask
+	for {
+		if !ix.used[i] {
+			return
+		}
+		if ix.keys[i] == k {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	ix.n--
+	j := i
+	for {
+		ix.used[i] = false
+		for {
+			j = (j + 1) & mask
+			if !ix.used[j] {
+				return
+			}
+			home := uint32(hashCtxKey(ix.keys[j])) & mask
+			// keys[j] may fill the gap at i iff its home position does not
+			// lie cyclically within (i, j] — otherwise moving it would break
+			// its own probe chain.
+			if (j-home)&mask >= (j-i)&mask {
+				break
+			}
+		}
+		ix.keys[i] = ix.keys[j]
+		ix.slots[i] = ix.slots[j]
+		ix.used[i] = true
+		i = j
+	}
+}
+
+// len returns the number of stored keys.
+func (ix *ctxIndex) len() int { return ix.n }
+
+// clear removes every key.
+func (ix *ctxIndex) clear() {
+	for i := range ix.used {
+		ix.used[i] = false
+	}
+	ix.n = 0
+}

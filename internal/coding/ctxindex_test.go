@@ -1,0 +1,84 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCtxIndexMatchesMap drives a ctxIndex and a reference map through the
+// same randomized put/del/get workload, including the churn pattern the
+// dictionary FSMs produce (delete-then-reinsert at full load), and checks
+// every lookup and the size after every operation.
+func TestCtxIndexMatchesMap(t *testing.T) {
+	const capacity = 64
+	rng := rand.New(rand.NewSource(1))
+	ix := newCtxIndex(capacity)
+	ref := make(map[ctxKey]int)
+
+	// A small key universe forces frequent re-put/del collisions; keys
+	// cluster on the low byte to stress probe chains.
+	randKey := func() ctxKey {
+		return ctxKey{prev: uint64(rng.Intn(4)), cur: uint64(rng.Intn(96))}
+	}
+	check := func(step int) {
+		t.Helper()
+		if ix.len() != len(ref) {
+			t.Fatalf("step %d: len %d, want %d", step, ix.len(), len(ref))
+		}
+		for k, slot := range ref {
+			if got := ix.get(k); got != slot {
+				t.Fatalf("step %d: get(%+v) = %d, want %d", step, k, got, slot)
+			}
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		k := randKey()
+		switch {
+		case rng.Intn(3) == 0 || len(ref) >= capacity:
+			ix.del(k)
+			delete(ref, k)
+		default:
+			slot := rng.Intn(capacity)
+			ix.put(k, slot)
+			ref[k] = slot
+		}
+		if want, ok := ref[k]; ok != (ix.get(k) >= 0) || (ok && ix.get(k) != want) {
+			t.Fatalf("step %d: get(%+v) = %d, ref %d (present %v)", step, k, ix.get(k), want, ok)
+		}
+		if step%500 == 0 {
+			check(step)
+		}
+	}
+	check(-1)
+
+	ix.clear()
+	if ix.len() != 0 {
+		t.Fatalf("len after clear = %d", ix.len())
+	}
+	for k := range ref {
+		if got := ix.get(k); got != -1 {
+			t.Fatalf("get(%+v) after clear = %d", k, got)
+		}
+	}
+}
+
+// TestCtxIndexAbsentKey exercises misses on an index with long probe
+// chains (every key hashed into a quarter-full table).
+func TestCtxIndexAbsentKey(t *testing.T) {
+	ix := newCtxIndex(16)
+	for i := 0; i < 16; i++ {
+		ix.put(ctxKey{cur: uint64(i)}, i)
+	}
+	for i := 16; i < 64; i++ {
+		if got := ix.get(ctxKey{cur: uint64(i)}); got != -1 {
+			t.Fatalf("get(absent %d) = %d", i, got)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		ix.del(ctxKey{cur: uint64(i)})
+	}
+	if ix.len() != 0 {
+		t.Fatalf("len after deleting all = %d", ix.len())
+	}
+}

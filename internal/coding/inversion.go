@@ -3,6 +3,7 @@ package coding
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 
 	"buspower/internal/bus"
 )
@@ -106,6 +107,17 @@ func DefaultInversionPatterns(width, n int) ([]uint64, error) {
 
 // Name implements Transcoder.
 func (t *InversionTranscoder) Name() string { return t.name }
+
+// ConfigKey implements ConfigKeyer: the name carries the pattern count
+// and assumed Λ but not the patterns themselves or the width.
+func (t *InversionTranscoder) ConfigKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/w%d/p", t.name, t.width)
+	for _, p := range t.patterns {
+		fmt.Fprintf(&b, "%x.", p)
+	}
+	return b.String()
+}
 
 // DataWidth implements Transcoder.
 func (t *InversionTranscoder) DataWidth() int { return t.width }

@@ -54,6 +54,12 @@ func NewPartialBusInvert(width, groups int, assumedLambda float64) (*PartialBusI
 // Name implements Transcoder.
 func (t *PartialBusInvert) Name() string { return t.name }
 
+// ConfigKey implements ConfigKeyer: the name omits the width and the
+// assumed Λ.
+func (t *PartialBusInvert) ConfigKey() string {
+	return fmt.Sprintf("%s/w%d/l%g", t.name, t.width, t.assumedLambda)
+}
+
 // DataWidth implements Transcoder.
 func (t *PartialBusInvert) DataWidth() int { return t.width }
 
@@ -172,6 +178,12 @@ func NewWorkzone(cfg WorkzoneConfig) (*WorkzoneTranscoder, error) {
 
 // Name implements Transcoder.
 func (t *WorkzoneTranscoder) Name() string { return t.name }
+
+// ConfigKey implements ConfigKeyer: the name omits the width, max delta
+// and assumed Λ.
+func (t *WorkzoneTranscoder) ConfigKey() string {
+	return fmt.Sprintf("%s-d%d/w%d/l%g", t.name, t.cfg.MaxDelta, t.cfg.Width, t.cfg.Lambda)
+}
 
 // DataWidth implements Transcoder.
 func (t *WorkzoneTranscoder) DataWidth() int { return t.cfg.Width }
@@ -299,7 +311,7 @@ func (e *workzoneEncoder) BusWidth() int { return e.ch.busWidth() + e.t.cfg.Zone
 
 func (e *workzoneEncoder) Encode(v uint64) bus.Word {
 	t := e.t
-	v &= uint64(bus.Mask(t.cfg.Width))
+	v &= uint64(e.ch.dataMask)
 	e.ops.Cycles++
 	e.ops.PartialMatches += uint64(t.cfg.Zones)
 	zone, delta := e.st.match(v)

@@ -49,6 +49,12 @@ func NewStride(width, strides int, lambda float64) (*StrideTranscoder, error) {
 // Name implements Transcoder.
 func (t *StrideTranscoder) Name() string { return t.name }
 
+// ConfigKey implements ConfigKeyer: the name omits the width and the
+// assumed Λ.
+func (t *StrideTranscoder) ConfigKey() string {
+	return fmt.Sprintf("%s/w%d/l%g", t.name, t.width, t.lambda)
+}
+
 // DataWidth implements Transcoder.
 func (t *StrideTranscoder) DataWidth() int { return t.width }
 
@@ -112,7 +118,7 @@ type strideEncoder struct {
 
 func (e *strideEncoder) Encode(v uint64) bus.Word {
 	t := e.t
-	v &= uint64(bus.Mask(t.width))
+	v &= uint64(e.ch.dataMask)
 	e.ops.Cycles++
 	var out bus.Word
 	switch {

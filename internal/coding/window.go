@@ -49,6 +49,12 @@ func NewWindow(width, entries int, lambda float64) (*WindowTranscoder, error) {
 // Name implements Transcoder.
 func (t *WindowTranscoder) Name() string { return t.name }
 
+// ConfigKey implements ConfigKeyer: the name omits the width and the
+// assumed Λ (which steers codeword order and raw-vs-inverted fallbacks).
+func (t *WindowTranscoder) ConfigKey() string {
+	return fmt.Sprintf("%s/w%d/l%g", t.name, t.width, t.lambda)
+}
+
 // DataWidth implements Transcoder.
 func (t *WindowTranscoder) DataWidth() int { return t.width }
 
@@ -65,7 +71,7 @@ func (t *WindowTranscoder) NewDecoder() Decoder {
 	return &windowDecoder{t: t, st: newWindowState(t.entries), ch: newDecodeChannel(t.width)}
 }
 
-// windowIndexMinEntries is the register size at which the map-based
+// windowIndexMinEntries is the register size at which the hash-based
 // reverse index starts beating the linear scan. Small registers (and the
 // VLC extension's ≤14-entry ones) stay on the scan, which is faster for a
 // handful of words and allocates nothing. It is a variable, not a
@@ -76,8 +82,9 @@ var windowIndexMinEntries = 24
 // and decoder: a pointer-based ring of entries plus the last input value.
 //
 // Two acceleration structures ride along without changing observable
-// behavior. index maps value → physical slot for O(1) find on large
-// registers (nil below windowIndexMinEntries). Its invariant relies on
+// behavior. index (a ctxIndex keyed on the bare value) maps value →
+// physical slot for O(1) find on large registers (nil below
+// windowIndexMinEntries). Its invariant relies on
 // entries being unique: values are only inserted on a miss. The one
 // duplicate case is the initial all-zero fill — while any of those fresh
 // zeros remain (tracked by fresh), the slots [head, n) all hold zero and
@@ -91,7 +98,7 @@ type windowState struct {
 	entries   []uint64
 	head      int // next slot to overwrite (the oldest entry)
 	last      uint64
-	index     map[uint64]int
+	index     *ctxIndex
 	fresh     int // initial zero-filled slots not yet overwritten
 	byteCount [256]uint32
 }
@@ -99,7 +106,7 @@ type windowState struct {
 func newWindowState(n int) windowState {
 	s := windowState{entries: make([]uint64, n), fresh: n}
 	if n >= windowIndexMinEntries {
-		s.index = make(map[uint64]int, n)
+		s.index = newCtxIndex(n)
 	}
 	s.byteCount[0] = uint32(n)
 	return s
@@ -120,10 +127,7 @@ func (s *windowState) find(v uint64) int {
 	if v == 0 && s.fresh > 0 {
 		return s.head
 	}
-	if slot, ok := s.index[v]; ok {
-		return slot
-	}
-	return -1
+	return s.index.get(ctxKey{cur: v})
 }
 
 // insert overwrites the oldest entry with v (pointer-based shift: only one
@@ -135,11 +139,11 @@ func (s *windowState) insert(v uint64) {
 	s.byteCount[v&0xFF]++
 	if s.index != nil {
 		if s.fresh > 0 {
-			s.fresh-- // evicting one of the initial zeros, which the map never held
+			s.fresh-- // evicting one of the initial zeros, which the index never held
 		} else {
-			delete(s.index, evicted)
+			s.index.del(ctxKey{cur: evicted})
 		}
-		s.index[v] = s.head
+		s.index.put(ctxKey{cur: v}, s.head)
 	}
 	s.head++
 	if s.head == len(s.entries) {
@@ -155,7 +159,7 @@ func (s *windowState) reset() {
 	s.last = 0
 	s.fresh = len(s.entries)
 	if s.index != nil {
-		clear(s.index)
+		s.index.clear()
 	}
 	s.byteCount = [256]uint32{}
 	s.byteCount[0] = uint32(len(s.entries))
@@ -170,7 +174,7 @@ type windowEncoder struct {
 
 func (e *windowEncoder) Encode(v uint64) bus.Word {
 	t := e.t
-	v &= uint64(bus.Mask(t.width))
+	v &= uint64(e.ch.dataMask)
 	e.ops.Cycles++
 	e.countProbes(v)
 	var out bus.Word
@@ -178,6 +182,13 @@ func (e *windowEncoder) Encode(v uint64) bus.Word {
 	case v == e.st.last:
 		e.ops.LastHits++
 		out = e.ch.sendCode(0)
+	case e.st.byteCount[v&0xFF] == 0:
+		// The selective-precharge partial match (the byte histogram) already
+		// proves no entry can equal v: take the miss path without scanning.
+		e.ops.RawSends++
+		e.ops.Shifts++
+		e.st.insert(v)
+		out, _ = e.ch.sendRaw(v)
 	default:
 		if slot := e.st.find(v); slot >= 0 {
 			e.ops.CodeSends++
@@ -191,6 +202,56 @@ func (e *windowEncoder) Encode(v uint64) bus.Word {
 	}
 	e.st.last = v
 	return out
+}
+
+// encodeStream implements streamEncoder: the same per-cycle algorithm as
+// Encode, with the OpStats counters and the LAST-value register hoisted
+// into locals and each coded word recorded straight into the meter
+// stream — no per-cycle interface dispatch, no counter write-backs.
+// TestWindowEncodeStreamMatchesEncode pins it cycle-for-cycle (outputs,
+// ops and dictionary state) to Encode.
+func (e *windowEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
+	t := e.t
+	mask := uint64(e.ch.dataMask)
+	nEntries := uint64(len(e.st.entries))
+	last := e.st.last
+	var cycles, lastHits, codeSends, rawSends, partial, full uint64
+	for _, v := range vals {
+		v &= mask
+		cycles++
+		partial += nEntries
+		fm := e.st.byteCount[v&0xFF]
+		full += uint64(fm)
+		var out bus.Word
+		switch {
+		case v == last:
+			lastHits++
+			out = e.ch.sendCode(0)
+		case fm == 0:
+			rawSends++
+			e.st.insert(v)
+			out, _ = e.ch.sendRaw(v)
+		default:
+			if slot := e.st.find(v); slot >= 0 {
+				codeSends++
+				out = e.ch.sendCode(t.cb.Code(1 + slot))
+			} else {
+				rawSends++
+				e.st.insert(v)
+				out, _ = e.ch.sendRaw(v)
+			}
+		}
+		last = v
+		st.Record(out)
+	}
+	e.st.last = last
+	e.ops.Cycles += cycles
+	e.ops.LastHits += lastHits
+	e.ops.CodeSends += codeSends
+	e.ops.RawSends += rawSends
+	e.ops.Shifts += rawSends
+	e.ops.PartialMatches += partial
+	e.ops.FullMatches += full
 }
 
 // countProbes models the selective-precharge CAM probe of §5.3.3: every

@@ -32,13 +32,13 @@ func init() {
 	register(Runner{ID: "fig25", Title: "Context transcoder: energy removed vs counter divide period, tables of 16 and 64 (Figure 25)", Run: runFig25})
 }
 
-// removedPercent evaluates a transcoder on a trace and returns the
-// percentage of Λ-weighted energy removed. ev carries reusable
-// encoder/decoder scratch across a sweep's inner loop; raw is the
-// trace's shared raw-bus meter (nil to measure here).
-func removedPercent(ev *coding.Evaluator, tc coding.Transcoder, trace []uint64, lambda float64, raw *bus.Meter) (float64, error) {
-	ev.Use(tc)
-	res, err := ev.Evaluate(trace, lambda, raw)
+// removedPercent evaluates a transcoder on a trace through the shared
+// result memo and returns the percentage of Λ-weighted energy removed.
+// ev carries reusable encoder/decoder scratch across a sweep's inner
+// loop (used on memo misses); raw is the trace's shared raw-bus meter
+// (nil to measure here).
+func removedPercent(ev *coding.Evaluator, tc coding.Transcoder, id traceID, trace []uint64, lambda float64, raw *bus.Meter, cfg Config) (float64, error) {
+	res, err := evalResult(ev, tc, id, trace, lambda, raw, cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -63,10 +63,12 @@ func sweepRows(t *Table, busName string, cfg Config, params []int, includeRandom
 		src := sources[i]
 		var tr []uint64
 		var raw *bus.Meter
+		var id traceID
 		var err error
 		if src == "random" {
-			tr = workload.RandomTrace(n, randomSeed)
+			tr = randomTraceFor(n)
 			raw = randomRawMeter(n)
+			id = randomTraceID(n)
 		} else {
 			tr, err = busTrace(src, busName, cfg)
 			if err != nil {
@@ -76,6 +78,7 @@ func sweepRows(t *Table, busName string, cfg Config, params []int, includeRandom
 			if err != nil {
 				return err
 			}
+			id = workloadTraceID(src, busName, cfg)
 		}
 		var ev coding.Evaluator
 		for _, p := range params {
@@ -83,7 +86,7 @@ func sweepRows(t *Table, busName string, cfg Config, params []int, includeRandom
 			if err != nil {
 				return err
 			}
-			pct, err := removedPercent(&ev, tc, tr, evalLambda, raw)
+			pct, err := removedPercent(&ev, tc, id, tr, evalLambda, raw, cfg)
 			if err != nil {
 				return err
 			}
@@ -183,7 +186,7 @@ func runFig24(cfg Config) (*Table, error) {
 				if err != nil {
 					return err
 				}
-				pct, err := removedPercent(&ev, ctx, tr, evalLambda, raw)
+				pct, err := removedPercent(&ev, ctx, workloadTraceID(name, "reg", cfg), tr, evalLambda, raw, cfg)
 				if err != nil {
 					return err
 				}
@@ -225,7 +228,7 @@ func runFig25(cfg Config) (*Table, error) {
 				if err != nil {
 					return err
 				}
-				pct, err := removedPercent(&ev, ctx, tr, evalLambda, raw)
+				pct, err := removedPercent(&ev, ctx, workloadTraceID(name, "reg", cfg), tr, evalLambda, raw, cfg)
 				if err != nil {
 					return err
 				}
@@ -266,9 +269,11 @@ func runFig15(cfg Config) (*Table, error) {
 		src := sources[i]
 		var traces [][]uint64
 		var raws []*bus.Meter
+		var ids []traceID
 		if src.bus == "" {
-			traces = [][]uint64{workload.RandomTrace(n, randomSeed)}
+			traces = [][]uint64{randomTraceFor(n)}
 			raws = []*bus.Meter{randomRawMeter(n)}
+			ids = []traceID{randomTraceID(n)}
 		} else {
 			for _, b := range fig7Benchmarks {
 				tr, err := busTrace(b, src.bus, cfg)
@@ -281,6 +286,7 @@ func runFig15(cfg Config) (*Table, error) {
 				}
 				traces = append(traces, tr)
 				raws = append(raws, raw)
+				ids = append(ids, workloadTraceID(b, src.bus, cfg))
 			}
 		}
 		var ev coding.Evaluator
@@ -297,10 +303,9 @@ func runFig15(cfg Config) (*Table, error) {
 				if err != nil {
 					return err
 				}
-				ev.Use(inv)
 				sum := 0.0
 				for j, tr := range traces {
-					res, err := ev.Evaluate(tr, actual, raws[j])
+					res, err := evalResult(&ev, inv, ids[j], tr, actual, raws[j], cfg)
 					if err != nil {
 						return err
 					}

@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"sync"
 
+	"buspower/internal/bus"
 	"buspower/internal/circuit"
 	"buspower/internal/coding"
 	"buspower/internal/energy"
@@ -23,62 +23,28 @@ func init() {
 	register(Runner{ID: "table3", Title: "Median crossover lengths for the window-based design (Table 3)", Run: runTable3})
 }
 
-// windowResult memoizes window-transcoder evaluations shared between the
-// energy figures. Like workload.Traces the memo is single-flight:
-// concurrent callers for the same key evaluate once and share the result.
-type windowKey struct {
-	name    string
-	bus     string
-	entries int
-	run     workload.RunConfig
-}
-
-type windowEntry struct {
-	ready chan struct{}
-	res   coding.Result
-	err   error
-}
-
-var (
-	windowMu    sync.Mutex
-	windowMemo  = map[windowKey]*windowEntry{}
-	windowLimit = 64
-)
-
-func windowResultFor(name, bus string, entries int, cfg Config) (coding.Result, error) {
-	key := windowKey{name, bus, entries, cfg.Run}
-	windowMu.Lock()
-	e, ok := windowMemo[key]
-	if ok {
-		windowMu.Unlock()
-		<-e.ready
-		return e.res, e.err
-	}
-	e = &windowEntry{ready: make(chan struct{})}
-	if len(windowMemo) > windowLimit {
-		windowMemo = map[windowKey]*windowEntry{}
-	}
-	windowMemo[key] = e
-	windowMu.Unlock()
-	e.res, e.err = evaluateWindow(name, bus, entries, cfg)
-	close(e.ready)
-	return e.res, e.err
-}
-
-func evaluateWindow(name, bus string, entries int, cfg Config) (coding.Result, error) {
-	tr, err := busTrace(name, bus, cfg)
-	if err != nil {
-		return coding.Result{}, err
-	}
-	raw, err := rawMeterFor(name, bus, cfg)
-	if err != nil {
-		return coding.Result{}, err
-	}
+// windowResultFor returns the memoized evaluation of a window transcoder
+// on one workload bus. The energy figures previously kept a private memo
+// for these; they now share the package-wide result memo with every other
+// runner, and a hit skips even the trace-cache lookup.
+func windowResultFor(name, busName string, entries int, cfg Config) (coding.Result, error) {
 	win, err := coding.NewWindow(busWidth, entries, evalLambda)
 	if err != nil {
 		return coding.Result{}, err
 	}
-	return coding.EvaluateShared(win, tr, evalLambda, raw)
+	var ev coding.Evaluator
+	return evalResultKeyed(&ev, win, workloadTraceID(name, busName, cfg), evalLambda, cfg,
+		func() ([]uint64, *bus.Meter, error) {
+			tr, err := busTrace(name, busName, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			raw, err := rawMeterFor(name, busName, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return tr, raw, nil
+		})
 }
 
 func runFig26(cfg Config) (*Table, error) {
@@ -104,7 +70,6 @@ func runFig26(cfg Config) (*Table, error) {
 			return 0, err
 		}
 		var ev coding.Evaluator
-		ev.Use(tc)
 		sum := 0.0
 		for _, name := range names {
 			tr, err := busTrace(name, "reg", cfg)
@@ -115,7 +80,7 @@ func runFig26(cfg Config) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			res, err := ev.Evaluate(tr, evalLambda, raw)
+			res, err := evalResult(&ev, tc, workloadTraceID(name, "reg", cfg), tr, evalLambda, raw, cfg)
 			if err != nil {
 				return 0, err
 			}

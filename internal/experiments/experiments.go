@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"buspower/internal/coding"
 	"buspower/internal/workload"
 )
 
@@ -23,6 +24,11 @@ type Config struct {
 	// Quick trims sweep ranges and trace lengths for smoke tests and
 	// benchmarks; the full configuration reproduces the paper's axes.
 	Quick bool
+	// Verify selects the decoder round-trip policy for every evaluation
+	// (see coding.VerifyPolicy). The zero value is full verification —
+	// tests get the strictest checking by default; cmd/buspower relaxes
+	// it to sampled via -verify. Results are bit-identical either way.
+	Verify coding.VerifyPolicy
 
 	// ctx and eng are set by RunAll: ctx carries cancellation into runner
 	// inner loops, eng bounds their goroutine fan-out. Both nil under the

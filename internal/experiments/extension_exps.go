@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"buspower/internal/circuit"
 	"buspower/internal/coding"
 	"buspower/internal/energy"
@@ -93,7 +95,6 @@ func runExtCtx(cfg Config) (*Table, error) {
 			return err
 		}
 		var ev coding.Evaluator
-		ev.Use(tc)
 		var savings, xovers []float64
 		for _, name := range names {
 			tr, err := busTrace(name, "reg", cfg)
@@ -104,7 +105,9 @@ func runExtCtx(cfg Config) (*Table, error) {
 			if err != nil {
 				return err
 			}
-			res, err := ev.Evaluate(tr, evalLambda, raw)
+			// The same (transcoder, trace, Λ) evaluation repeats across the
+			// technology axis; the memo collapses those to one computation.
+			res, err := evalResult(&ev, tc, workloadTraceID(name, "reg", cfg), tr, evalLambda, raw, cfg)
 			if err != nil {
 				return err
 			}
@@ -190,15 +193,22 @@ func runExtVLC(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		vlc, err := coding.EvaluateVLCShared(coding.VLCConfig{Width: busWidth, Entries: 14, Lambda: evalLambda}, tr, evalLambda, raw)
+		// The VLC evaluator has its own entry point (no Transcoder), so its
+		// memo key carries a hand-built config string.
+		vlcCfg := coding.VLCConfig{Width: busWidth, Entries: 14, Lambda: evalLambda}
+		vlcKey := resultKey{
+			config: fmt.Sprintf("vlc-%d/w%d/l%g", vlcCfg.Entries, vlcCfg.Width, vlcCfg.Lambda),
+			trace:  workloadTraceID(name, "reg", cfg),
+			lambda: evalLambda,
+			verify: cfg.Verify.String(),
+		}
+		vlc, err := vlcMemo.Do(vlcKey, func() (coding.VLCResult, error) {
+			return coding.EvaluateVLCShared(vlcCfg, tr, evalLambda, raw)
+		})
 		if err != nil {
 			return err
 		}
-		win, err := coding.NewWindow(busWidth, 14, evalLambda)
-		if err != nil {
-			return err
-		}
-		fixed, err := coding.EvaluateShared(win, tr, evalLambda, raw)
+		fixed, err := windowResultFor(name, "reg", 14, cfg)
 		if err != nil {
 			return err
 		}
@@ -247,7 +257,7 @@ func runExtAddr(cfg Config) (*Table, error) {
 			if err != nil {
 				return err
 			}
-			pct, err := removedPercent(&ev, tc, tr, evalLambda, raw)
+			pct, err := removedPercent(&ev, tc, workloadTraceID(name, "addr", cfg), tr, evalLambda, raw, cfg)
 			if err != nil {
 				return err
 			}

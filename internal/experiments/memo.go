@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"container/list"
+	"sync"
+)
+
+// MemoStats is a point-in-time snapshot of one memo's counters.
+type MemoStats struct {
+	// Hits counts Do calls that found an existing entry (including ones
+	// that waited on an in-flight computation).
+	Hits uint64
+	// Misses counts Do calls that started a computation.
+	Misses uint64
+	// Evictions counts completed entries dropped by the LRU bound.
+	Evictions uint64
+	// InFlight is the number of computations currently running.
+	InFlight int
+	// Size is the current number of entries (in-flight included).
+	Size int
+}
+
+// sfMemo is a single-flight, LRU-bounded memo: concurrent Do calls for
+// the same key compute once and share the result, and the entry count is
+// bounded by evicting the least-recently-used *completed* entry — an
+// in-flight entry is never dropped out from under its waiters (which
+// would start a second computation of the same key). This generalizes the
+// raw-meter memo introduced in PR 1 to any (comparable key, value) pair;
+// the raw-meter, random-trace and evaluation-result memos below are all
+// instances of it.
+//
+// Errors are memoized alongside values, mirroring the original behavior:
+// a failed computation is not retried until its entry ages out.
+type sfMemo[K comparable, V any] struct {
+	mu        sync.Mutex
+	entries   map[K]*sfEntry[K, V]
+	lru       *list.List // front = most recently used
+	limit     int
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	inFlight  int
+}
+
+type sfEntry[K comparable, V any] struct {
+	ready chan struct{}
+	val   V
+	err   error
+	// done is set under sfMemo.mu before ready is closed; only done
+	// entries are eviction candidates.
+	done bool
+	key  K
+	elem *list.Element
+}
+
+func newSFMemo[K comparable, V any](limit int) *sfMemo[K, V] {
+	return &sfMemo[K, V]{entries: map[K]*sfEntry[K, V]{}, lru: list.New(), limit: limit}
+}
+
+// Do returns the memoized value for key, running compute (without holding
+// the memo lock) if no entry exists yet.
+func (c *sfMemo[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.ready
+		return e.val, e.err
+	}
+	c.misses++
+	c.inFlight++
+	e := &sfEntry[K, V]{ready: make(chan struct{}), key: key}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	for len(c.entries) > c.limit {
+		var victim *sfEntry[K, V]
+		for le := c.lru.Back(); le != nil; le = le.Prev() {
+			if cand := le.Value.(*sfEntry[K, V]); cand.done {
+				victim = cand
+				break
+			}
+		}
+		if victim == nil {
+			// Every entry is in flight: tolerate a temporary overshoot
+			// rather than evict work in progress.
+			break
+		}
+		c.lru.Remove(victim.elem)
+		delete(c.entries, victim.key)
+		c.evictions++
+	}
+	c.mu.Unlock()
+
+	v, err := compute()
+	c.mu.Lock()
+	e.val, e.err = v, err
+	e.done = true
+	c.inFlight--
+	c.mu.Unlock()
+	close(e.ready)
+	return v, err
+}
+
+// Stats returns a snapshot of the memo's counters.
+func (c *sfMemo[K, V]) Stats() MemoStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return MemoStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		InFlight:  c.inFlight,
+		Size:      len(c.entries),
+	}
+}
+
+// Reset drops every completed entry and zeroes the counters, returning
+// the memo to its cold state (for tests and the bench harness's memo-cold
+// phases). In-flight entries are kept so their waiters still coalesce.
+func (c *sfMemo[K, V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if e.done {
+			c.lru.Remove(e.elem)
+			delete(c.entries, k)
+		}
+	}
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}

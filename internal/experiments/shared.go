@@ -1,95 +1,40 @@
 package experiments
 
 import (
-	"container/list"
-	"sync"
-
 	"buspower/internal/bus"
 	"buspower/internal/coding"
 	"buspower/internal/workload"
 )
 
-// The raw-bus measurement of a (source, bus) pair is identical for every
-// scheme and Λ a sweep evaluates on it (Λ enters only when the meter is
-// read), so the runners share one Σ-only meter per pair through this
-// single-flight memo instead of re-metering the trace once per scheme.
-// Like workload.Traces, concurrent callers for the same key measure once
-// and share the result.
-type rawMeterKey struct {
-	name string
-	bus  string
-	n    int // random-trace length; 0 for workload buses
-	run  workload.RunConfig
+// traceID names one evaluation input stream: a workload bus trace
+// (source + bus + run bounds) or the synthetic random comparison trace
+// (source "random" + length; randomSeed is fixed, so n fully identifies
+// it). It is the trace component of every memo key below.
+type traceID struct {
+	source string
+	bus    string
+	n      int // random-trace length; 0 for workload buses
+	run    workload.RunConfig
 }
 
-type rawMeterEntry struct {
-	ready chan struct{}
-	m     *bus.Meter
-	err   error
-	// done is set under rawMeterMu before ready is closed; only done
-	// entries are eviction candidates, so a key being measured can never
-	// be dropped out from under its waiters (which would start a second
-	// measurement of the same trace).
-	done bool
-	key  rawMeterKey
-	elem *list.Element
+func workloadTraceID(name, busName string, cfg Config) traceID {
+	return traceID{source: name, bus: busName, run: cfg.Run}
 }
 
-// The memo is bounded by an LRU: rawMeterLRU orders entries front =
-// most-recently-used, and eviction walks from the back, skipping
-// in-flight entries. (The previous policy flushed the whole map when it
-// grew past the limit, which also discarded entries still being
-// measured — a caller racing with the flush would re-measure a trace
-// that another goroutine was measuring at that moment.)
-var (
-	rawMeterMu    sync.Mutex
-	rawMeterMemo  = map[rawMeterKey]*rawMeterEntry{}
-	rawMeterLRU   = list.New()
-	rawMeterLimit = 128
-)
-
-func rawMeterMemoized(key rawMeterKey, measure func() (*bus.Meter, error)) (*bus.Meter, error) {
-	rawMeterMu.Lock()
-	if e, ok := rawMeterMemo[key]; ok {
-		rawMeterLRU.MoveToFront(e.elem)
-		rawMeterMu.Unlock()
-		<-e.ready
-		return e.m, e.err
-	}
-	e := &rawMeterEntry{ready: make(chan struct{}), key: key}
-	e.elem = rawMeterLRU.PushFront(e)
-	rawMeterMemo[key] = e
-	for len(rawMeterMemo) > rawMeterLimit {
-		var victim *rawMeterEntry
-		for le := rawMeterLRU.Back(); le != nil; le = le.Prev() {
-			if cand := le.Value.(*rawMeterEntry); cand.done {
-				victim = cand
-				break
-			}
-		}
-		if victim == nil {
-			// Every entry is in flight: tolerate a temporary overshoot
-			// rather than evict work in progress.
-			break
-		}
-		rawMeterLRU.Remove(victim.elem)
-		delete(rawMeterMemo, victim.key)
-	}
-	rawMeterMu.Unlock()
-
-	m, err := measure()
-	rawMeterMu.Lock()
-	e.m, e.err = m, err
-	e.done = true
-	rawMeterMu.Unlock()
-	close(e.ready)
-	return m, err
+func randomTraceID(n int) traceID {
+	return traceID{source: "random", n: n}
 }
+
+// The raw-bus measurement of a trace is identical for every scheme and Λ
+// a sweep evaluates on it (Λ enters only when the meter is read), so the
+// runners share one Σ-only meter per trace through this single-flight
+// memo instead of re-metering the trace once per scheme.
+var rawMeterMemo = newSFMemo[traceID, *bus.Meter](128)
 
 // rawMeterFor returns the shared raw-bus meter of one workload bus at the
 // experiments' data width.
 func rawMeterFor(name, busName string, cfg Config) (*bus.Meter, error) {
-	return rawMeterMemoized(rawMeterKey{name: name, bus: busName, run: cfg.Run}, func() (*bus.Meter, error) {
+	return rawMeterMemo.Do(workloadTraceID(name, busName, cfg), func() (*bus.Meter, error) {
 		tr, err := busTrace(name, busName, cfg)
 		if err != nil {
 			return nil, err
@@ -98,11 +43,99 @@ func rawMeterFor(name, busName string, cfg Config) (*bus.Meter, error) {
 	})
 }
 
-// randomRawMeter returns the shared raw-bus meter of the n-value random
-// comparison trace (randomSeed is fixed, so n fully identifies it).
-func randomRawMeter(n int) *bus.Meter {
-	m, _ := rawMeterMemoized(rawMeterKey{name: "random", n: n}, func() (*bus.Meter, error) {
-		return coding.MeasureRawValues(busWidth, workload.RandomTrace(n, randomSeed)), nil
+// randomBundle pairs the n-value random comparison trace with its raw-bus
+// meter, so the runners neither regenerate the values nor re-meter them.
+type randomBundle struct {
+	trace []uint64
+	meter *bus.Meter
+}
+
+var randomMemo = newSFMemo[int, randomBundle](8)
+
+func randomBundleFor(n int) randomBundle {
+	b, _ := randomMemo.Do(n, func() (randomBundle, error) {
+		tr := workload.RandomTrace(n, randomSeed)
+		return randomBundle{trace: tr, meter: coding.MeasureRawValues(busWidth, tr)}, nil
 	})
-	return m
+	return b
+}
+
+// randomTraceFor returns the shared n-value random comparison trace.
+func randomTraceFor(n int) []uint64 { return randomBundleFor(n).trace }
+
+// randomRawMeter returns the shared raw-bus meter of that trace.
+func randomRawMeter(n int) *bus.Meter { return randomBundleFor(n).meter }
+
+// resultKey identifies one transcoder evaluation: what was encoded
+// (trace), with which exact codec configuration (the canonical
+// coding.ConfigKey string — names alone under-specify, e.g. the context
+// coder's divide period), read at which Λ, under which verification
+// policy. Every policy yields bit-identical Results, but keeping the
+// policy in the key means a -verify=full run re-proves every evaluation
+// instead of inheriting sampled-run entries.
+type resultKey struct {
+	config string
+	trace  traceID
+	lambda float64
+	verify string
+}
+
+// resultMemo shares whole evaluation Results across experiments: the
+// figure-24/25 context sweeps, the energy figures and the extension
+// tables all re-evaluate overlapping (transcoder, trace, Λ) points, and
+// within one invocation each point is computed once. It subsumes the
+// window-result memo the energy experiments previously kept for
+// themselves.
+var resultMemo = newSFMemo[resultKey, coding.Result](1024)
+
+// vlcMemo is the variable-length-coding counterpart: VLC evaluations
+// return their own result type (beat-accurate), so they get a small memo
+// of their own on the same machinery.
+var vlcMemo = newSFMemo[resultKey, coding.VLCResult](64)
+
+// EvalMemoStats reports the evaluation-result memo's counters.
+func EvalMemoStats() MemoStats { return resultMemo.Stats() }
+
+// RawMeterMemoStats reports the shared raw-bus meter memo's counters.
+func RawMeterMemoStats() MemoStats { return rawMeterMemo.Stats() }
+
+// ClearEvalMemo returns the evaluation-result memos (fixed-length and
+// VLC) to their cold state (the bench harness's memo-cold phase;
+// raw-meter and trace caches are governed separately).
+func ClearEvalMemo() {
+	resultMemo.Reset()
+	vlcMemo.Reset()
+}
+
+// evalResultKeyed memoizes one transcoder evaluation. fetch returns the
+// trace and its shared raw meter (nil to measure inline) and runs only on
+// a miss, so hits skip even the trace-cache lookup. On a miss the
+// evaluation runs through ev — reusing the caller's sweep-local scratch —
+// under cfg.Verify, and the Result's coded meter is detached (Clone) from
+// the evaluator before it is retained.
+func evalResultKeyed(ev *coding.Evaluator, tc coding.Transcoder, id traceID, lambda float64, cfg Config,
+	fetch func() ([]uint64, *bus.Meter, error)) (coding.Result, error) {
+	key := resultKey{config: coding.ConfigKey(tc), trace: id, lambda: lambda, verify: cfg.Verify.String()}
+	return resultMemo.Do(key, func() (coding.Result, error) {
+		tr, raw, err := fetch()
+		if err != nil {
+			return coding.Result{}, err
+		}
+		ev.Use(tc)
+		ev.Verify = cfg.Verify
+		res, err := ev.Evaluate(tr, lambda, raw)
+		if err != nil {
+			return coding.Result{}, err
+		}
+		res.Coded = res.Coded.Clone()
+		return res, nil
+	})
+}
+
+// evalResult is evalResultKeyed for callers that already hold the trace
+// and its raw meter.
+func evalResult(ev *coding.Evaluator, tc coding.Transcoder, id traceID, tr []uint64, lambda float64, raw *bus.Meter, cfg Config) (coding.Result, error) {
+	return evalResultKeyed(ev, tc, id, lambda, cfg, func() ([]uint64, *bus.Meter, error) {
+		return tr, raw, nil
+	})
 }
