@@ -10,6 +10,7 @@
 //	buspower -exp all -trace-cache /tmp/traces
 //	buspower -exp all -verify full
 //	buspower bench -quick -out results/BENCH_PR4.json
+//	buspower serve -addr :8080 -workers 8
 //
 // Experiments run concurrently on a bounded worker pool (-jobs, default
 // GOMAXPROCS) with deterministic output: the printed TSVs are
@@ -38,6 +39,10 @@
 // end-to-end quick regeneration, writing a JSON report comparable across
 // PRs (see "Profiling & benchmarking" in README.md). Both modes accept
 // -cpuprofile/-memprofile for pprof captures.
+//
+// The serve subcommand exposes the same memoized evaluation engine as an
+// HTTP JSON API (POST /v1/eval, plus /v1/schemes, /v1/workloads,
+// /healthz and Prometheus-format /metrics); see "Serving" in README.md.
 package main
 
 import (
@@ -62,6 +67,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		if err := runBench(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "buspower bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "buspower serve:", err)
 			os.Exit(1)
 		}
 		return
@@ -200,17 +212,7 @@ func run() error {
 	// The persistent trace cache is on by default: simulation output is
 	// deterministic in its content-addressed key, so reuse is always
 	// sound. An unusable directory degrades to memory-only caching.
-	if !*noDisk {
-		dir := *cacheDir
-		if dir == "" {
-			dir = workload.DefaultTraceCacheDir()
-		}
-		if dir != "" {
-			if _, err := workload.SetTraceCacheDir(dir); err != nil {
-				fmt.Fprintf(os.Stderr, "buspower: disk trace cache disabled: %v\n", err)
-			}
-		}
-	}
+	setupTraceCache(*cacheDir, *noDisk)
 
 	if *list {
 		titles := experiments.Titles()

@@ -1,0 +1,289 @@
+package coding
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemeSpec is the parsed, canonical form of a textual transcoder
+// configuration — the grammar the serving API and tools accept:
+//
+//	kind[:key=value[,key=value...]]
+//
+// Common keys (valid for every kind):
+//
+//	width=N   data width in bits, 1..62 (default 32; spatial allows 1..6)
+//	lambda=F  assumed Λ for cost functions, finite and >= 0 (default 1)
+//
+// Kinds and their specific keys:
+//
+//	raw                                 identity baseline
+//	gray                                Gray-code address baseline
+//	spatial                             one-hot transition coding (width <= 6)
+//	businvert                           classic bus-invert
+//	inversion   patterns=N (1..8)       generalized inversion coding
+//	pbi         groups=N   (1..width)   partial bus-invert
+//	stride      strides=N  (1..4096)    strided predictor bank
+//	window      entries=N  (1..4096)    shift-register dictionary
+//	context     table=N (1..4096), sr=N (1..4096),
+//	            divide=N (0..2^30), transition=BOOL
+//	                                    frequency-table transcoder
+//
+// Parsing is strict: unknown kinds or keys, duplicate keys, out-of-range
+// values and malformed numbers are all errors, so a typo can never
+// silently select a different experiment than intended. ParseSchemeSpec
+// and String round-trip: for any accepted input, String returns a
+// canonical form that re-parses to an identical SchemeSpec.
+type SchemeSpec struct {
+	// Kind is the scheme family, e.g. "window".
+	Kind string
+	// Width is the data width in bits.
+	Width int
+	// Lambda is the assumed Λ of the scheme's cost function.
+	Lambda float64
+	// Entries holds the kind's primary size parameter: window entries,
+	// stride count, inversion pattern-set size, partial bus-invert groups
+	// or context table size. Zero for kinds without one.
+	Entries int
+	// SR is the context coder's shift-register size.
+	SR int
+	// Divide is the context coder's counter division period.
+	Divide int
+	// Transition selects the context coder's transition-based flavour.
+	Transition bool
+}
+
+// Parameter bounds. These are tighter than what the constructors
+// technically admit: the spec grammar fronts a network API, so sizes are
+// capped at values that cannot be abused to provoke huge allocations.
+const (
+	maxSchemeEntries = 4096
+	maxSchemeDivide  = 1 << 30
+)
+
+// schemeKind describes one accepted kind: which specific keys it takes
+// (in canonical print order) and the defaults Parse fills in.
+type schemeKind struct {
+	keys     []string
+	defaults SchemeSpec
+}
+
+var schemeKinds = map[string]schemeKind{
+	"raw":       {},
+	"gray":      {},
+	"spatial":   {},
+	"businvert": {},
+	"inversion": {keys: []string{"patterns"}, defaults: SchemeSpec{Entries: 4}},
+	"pbi":       {keys: []string{"groups"}, defaults: SchemeSpec{Entries: 4}},
+	"stride":    {keys: []string{"strides"}, defaults: SchemeSpec{Entries: 4}},
+	"window":    {keys: []string{"entries"}, defaults: SchemeSpec{Entries: 8}},
+	"context":   {keys: []string{"table", "sr", "divide", "transition"}, defaults: SchemeSpec{Entries: 16, SR: 8, Divide: 4096}},
+}
+
+// SchemeKinds lists the accepted scheme kinds in sorted order.
+func SchemeKinds() []string {
+	out := make([]string, 0, len(schemeKinds))
+	for k := range schemeKinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseSchemeSpec parses and validates a scheme configuration string.
+// The returned spec always has every field populated (defaults applied),
+// and Build on it succeeds unless the width/parameter *combination* is
+// invalid (e.g. spatial at width 32, a codebook larger than the width
+// admits) — those combination errors surface from Build with the
+// constructor's message.
+func ParseSchemeSpec(s string) (SchemeSpec, error) {
+	kindName, rest, hasParams := strings.Cut(s, ":")
+	kindName = strings.TrimSpace(kindName)
+	kind, ok := schemeKinds[kindName]
+	if !ok {
+		return SchemeSpec{}, fmt.Errorf("coding: unknown scheme kind %q (want one of %s)", kindName, strings.Join(SchemeKinds(), ", "))
+	}
+	spec := kind.defaults
+	spec.Kind = kindName
+	spec.Width = 32
+	spec.Lambda = 1
+
+	if !hasParams {
+		return spec, nil
+	}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(rest, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return SchemeSpec{}, fmt.Errorf("coding: scheme parameter %q is not key=value", part)
+		}
+		if seen[key] {
+			return SchemeSpec{}, fmt.Errorf("coding: duplicate scheme parameter %q", key)
+		}
+		seen[key] = true
+		if err := spec.setParam(kind, key, val); err != nil {
+			return SchemeSpec{}, err
+		}
+	}
+	return spec, nil
+}
+
+func (spec *SchemeSpec) setParam(kind schemeKind, key, val string) error {
+	intParam := func(lo, hi int) (int, error) {
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return 0, fmt.Errorf("coding: scheme parameter %s=%q is not an integer", key, val)
+		}
+		if n < lo || n > hi {
+			return 0, fmt.Errorf("coding: scheme parameter %s=%d outside [%d, %d]", key, n, lo, hi)
+		}
+		return n, nil
+	}
+	switch key {
+	case "width":
+		n, err := intParam(1, 62)
+		if err != nil {
+			return err
+		}
+		spec.Width = n
+		return nil
+	case "lambda":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			return fmt.Errorf("coding: scheme parameter lambda=%q is not a finite non-negative number", val)
+		}
+		spec.Lambda = f
+		return nil
+	}
+	for _, k := range kind.keys {
+		if k != key {
+			continue
+		}
+		switch key {
+		case "patterns":
+			n, err := intParam(1, 8)
+			if err != nil {
+				return err
+			}
+			spec.Entries = n
+		case "groups", "strides", "entries", "table":
+			n, err := intParam(1, maxSchemeEntries)
+			if err != nil {
+				return err
+			}
+			spec.Entries = n
+		case "sr":
+			n, err := intParam(1, maxSchemeEntries)
+			if err != nil {
+				return err
+			}
+			spec.SR = n
+		case "divide":
+			n, err := intParam(0, maxSchemeDivide)
+			if err != nil {
+				return err
+			}
+			spec.Divide = n
+		case "transition":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return fmt.Errorf("coding: scheme parameter transition=%q is not a boolean", val)
+			}
+			spec.Transition = b
+		}
+		return nil
+	}
+	return fmt.Errorf("coding: scheme kind %s does not take parameter %q", spec.Kind, key)
+}
+
+// String returns the canonical form of the spec: the kind followed by
+// every parameter the kind takes, in fixed order, with width and lambda
+// printed only when they differ from their defaults. The output re-parses
+// to an identical SchemeSpec.
+func (spec SchemeSpec) String() string {
+	var b strings.Builder
+	b.WriteString(spec.Kind)
+	sep := byte(':')
+	put := func(key, val string) {
+		b.WriteByte(sep)
+		sep = ','
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	for _, key := range schemeKinds[spec.Kind].keys {
+		switch key {
+		case "patterns", "groups", "strides", "entries", "table":
+			put(key, strconv.Itoa(spec.Entries))
+		case "sr":
+			put(key, strconv.Itoa(spec.SR))
+		case "divide":
+			put(key, strconv.Itoa(spec.Divide))
+		case "transition":
+			put(key, strconv.FormatBool(spec.Transition))
+		}
+	}
+	if spec.Width != 32 {
+		put("width", strconv.Itoa(spec.Width))
+	}
+	if spec.Lambda != 1 {
+		put("lambda", strconv.FormatFloat(spec.Lambda, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// Build constructs the transcoder the spec describes.
+func (spec SchemeSpec) Build() (Transcoder, error) {
+	if spec.Width < 1 || spec.Width > 62 {
+		return nil, fmt.Errorf("coding: scheme width %d outside [1, 62]", spec.Width)
+	}
+	switch spec.Kind {
+	case "raw":
+		return NewRaw(spec.Width), nil
+	case "gray":
+		return NewGray(spec.Width)
+	case "spatial":
+		return NewSpatial(spec.Width)
+	case "businvert":
+		return NewBusInvert(spec.Width, spec.Lambda)
+	case "inversion":
+		pats, err := DefaultInversionPatterns(spec.Width, spec.Entries)
+		if err != nil {
+			return nil, err
+		}
+		return NewInversion(spec.Width, pats, spec.Lambda)
+	case "pbi":
+		return NewPartialBusInvert(spec.Width, spec.Entries, spec.Lambda)
+	case "stride":
+		return NewStride(spec.Width, spec.Entries, spec.Lambda)
+	case "window":
+		return NewWindow(spec.Width, spec.Entries, spec.Lambda)
+	case "context":
+		return NewContext(ContextConfig{
+			Width:           spec.Width,
+			TableSize:       spec.Entries,
+			ShiftEntries:    spec.SR,
+			DividePeriod:    spec.Divide,
+			TransitionBased: spec.Transition,
+			Lambda:          spec.Lambda,
+		})
+	}
+	return nil, fmt.Errorf("coding: unknown scheme kind %q", spec.Kind)
+}
+
+// BuildScheme parses and builds in one step.
+func BuildScheme(s string) (Transcoder, error) {
+	spec, err := ParseSchemeSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build()
+}

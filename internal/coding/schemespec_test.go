@@ -1,0 +1,129 @@
+package coding
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSchemeSpec(t *testing.T) {
+	cases := []struct {
+		in        string
+		want      SchemeSpec
+		canonical string
+	}{
+		{"raw", SchemeSpec{Kind: "raw", Width: 32, Lambda: 1}, "raw"},
+		{"gray", SchemeSpec{Kind: "gray", Width: 32, Lambda: 1}, "gray"},
+		{"spatial:width=4", SchemeSpec{Kind: "spatial", Width: 4, Lambda: 1}, "spatial:width=4"},
+		{"businvert", SchemeSpec{Kind: "businvert", Width: 32, Lambda: 1}, "businvert"},
+		{"businvert:lambda=2.5", SchemeSpec{Kind: "businvert", Width: 32, Lambda: 2.5}, "businvert:lambda=2.5"},
+		{"inversion", SchemeSpec{Kind: "inversion", Width: 32, Lambda: 1, Entries: 4}, "inversion:patterns=4"},
+		{"inversion:patterns=8", SchemeSpec{Kind: "inversion", Width: 32, Lambda: 1, Entries: 8}, "inversion:patterns=8"},
+		{"pbi:groups=2", SchemeSpec{Kind: "pbi", Width: 32, Lambda: 1, Entries: 2}, "pbi:groups=2"},
+		{"stride:strides=15", SchemeSpec{Kind: "stride", Width: 32, Lambda: 1, Entries: 15}, "stride:strides=15"},
+		{"window", SchemeSpec{Kind: "window", Width: 32, Lambda: 1, Entries: 8}, "window:entries=8"},
+		{"window:entries=32,width=16", SchemeSpec{Kind: "window", Width: 16, Lambda: 1, Entries: 32}, "window:entries=32,width=16"},
+		// Key order and spacing are normalized by the canonical form.
+		{" window : width=16 , entries=32 ", SchemeSpec{Kind: "window", Width: 16, Lambda: 1, Entries: 32}, "window:entries=32,width=16"},
+		{"context", SchemeSpec{Kind: "context", Width: 32, Lambda: 1, Entries: 16, SR: 8, Divide: 4096}, "context:table=16,sr=8,divide=4096,transition=false"},
+		{"context:table=64,sr=4,divide=1024,transition=true",
+			SchemeSpec{Kind: "context", Width: 32, Lambda: 1, Entries: 64, SR: 4, Divide: 1024, Transition: true},
+			"context:table=64,sr=4,divide=1024,transition=true"},
+	}
+	for _, c := range cases {
+		spec, err := ParseSchemeSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseSchemeSpec(%q): %v", c.in, err)
+			continue
+		}
+		if spec != c.want {
+			t.Errorf("ParseSchemeSpec(%q) = %+v, want %+v", c.in, spec, c.want)
+		}
+		if got := spec.String(); got != c.canonical {
+			t.Errorf("ParseSchemeSpec(%q).String() = %q, want %q", c.in, got, c.canonical)
+		}
+		// The canonical form must re-parse to the identical spec.
+		back, err := ParseSchemeSpec(spec.String())
+		if err != nil {
+			t.Errorf("reparse %q: %v", spec.String(), err)
+		} else if back != spec {
+			t.Errorf("reparse %q = %+v, want %+v", spec.String(), back, spec)
+		}
+	}
+}
+
+func TestParseSchemeSpecRejects(t *testing.T) {
+	cases := []struct {
+		in      string
+		errLike string
+	}{
+		{"", "unknown scheme kind"},
+		{"windo", "unknown scheme kind"},
+		{"window:entries", "not key=value"},
+		{"window:entries=", "not key=value"},
+		{"window:entries=two", "not an integer"},
+		{"window:entries=0", "outside"},
+		{"window:entries=5000", "outside"},
+		{"window:entries=4,entries=8", "duplicate"},
+		{"window:table=4", "does not take parameter"},
+		{"raw:entries=4", "does not take parameter"},
+		{"window:width=0", "outside"},
+		{"window:width=63", "outside"},
+		{"window:lambda=-1", "finite non-negative"},
+		{"window:lambda=NaN", "finite non-negative"},
+		{"window:lambda=+Inf", "finite non-negative"},
+		{"context:transition=maybe", "not a boolean"},
+		{"context:divide=-1", "outside"},
+		{"inversion:patterns=9", "outside"},
+	}
+	for _, c := range cases {
+		if _, err := ParseSchemeSpec(c.in); err == nil {
+			t.Errorf("ParseSchemeSpec(%q) succeeded, want error containing %q", c.in, c.errLike)
+		} else if !strings.Contains(err.Error(), c.errLike) {
+			t.Errorf("ParseSchemeSpec(%q) error %q does not contain %q", c.in, err, c.errLike)
+		}
+	}
+}
+
+// TestBuildSchemeRoundTrips proves each buildable spec produces a working
+// transcoder whose ConfigKey is stable, and that building twice from the
+// same canonical string yields transcoders with equal ConfigKeys (the
+// identity the eval memo and Evaluator scratch reuse key on).
+func TestBuildSchemeRoundTrips(t *testing.T) {
+	specs := []string{
+		"raw", "gray", "spatial:width=4", "businvert", "inversion:patterns=8",
+		"pbi:groups=4", "stride:strides=4", "window:entries=8",
+		"context:table=16,sr=8,divide=1024,transition=true",
+		"context:table=16,sr=8,divide=1024",
+	}
+	trace := []uint64{0, 1, 2, 3, 0xdeadbeef, 42, 42, 42, 7, 0}
+	for _, s := range specs {
+		tc, err := BuildScheme(s)
+		if err != nil {
+			t.Fatalf("BuildScheme(%q): %v", s, err)
+		}
+		tc2, err := BuildScheme(s)
+		if err != nil {
+			t.Fatalf("BuildScheme(%q) second build: %v", s, err)
+		}
+		if ConfigKey(tc) != ConfigKey(tc2) {
+			t.Errorf("BuildScheme(%q): unstable ConfigKey %q vs %q", s, ConfigKey(tc), ConfigKey(tc2))
+		}
+		if _, err := Evaluate(tc, trace, 1); err != nil {
+			t.Errorf("BuildScheme(%q): evaluation failed: %v", s, err)
+		}
+	}
+}
+
+// TestBuildSchemeCombinationErrors: specs that parse but whose parameter
+// combination no constructor admits must fail in Build, not panic.
+func TestBuildSchemeCombinationErrors(t *testing.T) {
+	for _, s := range []string{
+		"spatial",                        // spatial needs width <= 6
+		"window:entries=100,width=8",     // codebook larger than width 8 admits
+		"context:table=90,sr=90,width=8", // ditto
+	} {
+		if _, err := BuildScheme(s); err == nil {
+			t.Errorf("BuildScheme(%q) succeeded, want error", s)
+		}
+	}
+}

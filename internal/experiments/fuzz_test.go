@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseEvalRequest proves two properties of the request parser over
+// arbitrary byte input: it never panics, and any input it accepts is
+// canonical — encoding the parsed request and parsing it again yields
+// the identical request (so memo keys derived from parsed requests are
+// stable across clients that round-trip them).
+func FuzzParseEvalRequest(f *testing.F) {
+	seeds := []string{
+		`{"values":[1,2,3],"scheme":"raw"}`,
+		`{"values":[1,2,3,4],"scheme":"window:entries=8","lambda":2.5}`,
+		`{"random":1000,"scheme":"context:table=16,sr=8"}`,
+		`{"workload":"li","bus":"reg","quick":true,"scheme":"businvert"}`,
+		`{"workload":"go","bus":"mem","scheme":"inversion:patterns=4","verify":"sampled:32"}`,
+		`{"workload":"compress","bus":"addr","scheme":"stride:strides=4","max_instructions":50000,"max_bus_values":4000}`,
+		`{"values":[18446744073709551615],"scheme":"gray","verify":"off"}`,
+		`{"random":1,"scheme":"pbi:groups=4","lambda":0}`,
+		`{"scheme":"raw"}`,
+		`{"values":[],"scheme":"raw"}`,
+		`{"values":[1],"scheme":"spatial:width=4"}`,
+		`not json at all`,
+		`{"values":[1],"scheme":"raw","extra":true}`,
+		`{"values":[1],"scheme":"raw"}{"values":[2],"scheme":"raw"}`,
+		`{"values":[1],"scheme":"raw","lambda":1e309}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseEvalRequest(data)
+		if err != nil {
+			return // rejected input is fine; the property is about accepted input
+		}
+		encoded, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-encode: %v\ninput: %q", err, data)
+		}
+		again, err := ParseEvalRequest(encoded)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected on reparse: %v\nencoded: %s\ninput: %q", err, encoded, data)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round-trip unstable:\nfirst:  %+v\nsecond: %+v\nencoded: %s", req, again, encoded)
+		}
+	})
+}

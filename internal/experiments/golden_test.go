@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden conformance fixtures under testdata/golden/")
+
+// goldenTable is the fixture schema: exactly the public Table fields, so
+// a fixture diff reads like the experiment's printed output.
+type goldenTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".json")
+}
+
+// TestGoldenConformance regenerates every experiment in quick mode and
+// compares each table cell-for-cell against its checked-in JSON fixture.
+// The fixtures pin the numeric output of the whole pipeline — simulator,
+// traces, transcoders, meters, formatting — so any unintended change to
+// the numbers fails loudly with a readable diff. After an *intended*
+// change, regenerate with:
+//
+//	go test ./internal/experiments/ -run TestGoldenConformance -update
+//
+// and review the fixture diff like any other code change.
+func TestGoldenConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden conformance runs every experiment; skipped in -short")
+	}
+	ids := IDs()
+	tables, err := RunAll(context.Background(), QuickConfig(), ids, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		// Remove fixtures for experiments that no longer exist so the
+		// directory never accumulates stale IDs.
+		known := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			known[id] = true
+		}
+		old, _ := filepath.Glob(goldenPath("*"))
+		for _, path := range old {
+			id := strings.TrimSuffix(filepath.Base(path), ".json")
+			if !known[id] {
+				if err := os.Remove(path); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("removed stale fixture %s", path)
+			}
+		}
+	}
+	for i, tbl := range tables {
+		id := ids[i]
+		t.Run(id, func(t *testing.T) {
+			got := goldenTable{ID: tbl.ID, Title: tbl.Title, Columns: tbl.Columns, Rows: tbl.Rows}
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath(id), append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(goldenPath(id))
+			if err != nil {
+				t.Fatalf("missing fixture (regenerate with -update): %v", err)
+			}
+			var want goldenTable
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt fixture %s: %v", goldenPath(id), err)
+			}
+			if diff := diffTables(want, got); diff != "" {
+				t.Errorf("%s diverges from golden fixture (rerun with -update after an intended change):\n%s", id, diff)
+			}
+		})
+	}
+}
+
+// diffTables reports a human-readable, cell-level diff between two
+// tables, or "" if identical.
+func diffTables(want, got goldenTable) string {
+	var b strings.Builder
+	if want.ID != got.ID {
+		fmt.Fprintf(&b, "  id: fixture %q, got %q\n", want.ID, got.ID)
+	}
+	if want.Title != got.Title {
+		fmt.Fprintf(&b, "  title: fixture %q, got %q\n", want.Title, got.Title)
+	}
+	if !equalStrings(want.Columns, got.Columns) {
+		fmt.Fprintf(&b, "  columns: fixture %v, got %v\n", want.Columns, got.Columns)
+	}
+	if len(want.Rows) != len(got.Rows) {
+		fmt.Fprintf(&b, "  row count: fixture %d, got %d\n", len(want.Rows), len(got.Rows))
+	}
+	n := len(want.Rows)
+	if len(got.Rows) < n {
+		n = len(got.Rows)
+	}
+	shown := 0
+	for r := 0; r < n && shown < 10; r++ {
+		if equalStrings(want.Rows[r], got.Rows[r]) {
+			continue
+		}
+		fmt.Fprintf(&b, "  row %d:\n    fixture: %s\n    got:     %s\n",
+			r, strings.Join(want.Rows[r], "\t"), strings.Join(got.Rows[r], "\t"))
+		for c := 0; c < len(want.Rows[r]) && c < len(got.Rows[r]); c++ {
+			if want.Rows[r][c] != got.Rows[r][c] {
+				col := fmt.Sprintf("col %d", c)
+				if c < len(want.Columns) {
+					col = want.Columns[c]
+				}
+				fmt.Fprintf(&b, "    %s: fixture %q, got %q\n", col, want.Rows[r][c], got.Rows[r][c])
+			}
+		}
+		shown++
+	}
+	if shown == 10 {
+		b.WriteString("  ... (more differing rows elided)\n")
+	}
+	return b.String()
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

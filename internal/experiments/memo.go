@@ -3,6 +3,7 @@ package experiments
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // MemoStats is a point-in-time snapshot of one memo's counters.
@@ -30,16 +31,24 @@ type MemoStats struct {
 // instances of it.
 //
 // Errors are memoized alongside values, mirroring the original behavior:
-// a failed computation is not retried until its entry ages out.
+// a failed computation is not retried until its entry ages out. Callers
+// whose errors are *not* deterministic (e.g. context cancellation on a
+// serving path) must drop the entry with Forget.
+//
+// The counters are atomics, not mu-guarded fields, so Stats is wait-free:
+// a metrics scrape under load observes them without contending with (or
+// being blocked behind) in-flight Do calls holding mu for eviction scans.
 type sfMemo[K comparable, V any] struct {
-	mu        sync.Mutex
-	entries   map[K]*sfEntry[K, V]
-	lru       *list.List // front = most recently used
-	limit     int
-	hits      uint64
-	misses    uint64
-	evictions uint64
-	inFlight  int
+	mu      sync.Mutex
+	entries map[K]*sfEntry[K, V]
+	lru     *list.List // front = most recently used
+	limit   int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	inFlight  atomic.Int64
+	size      atomic.Int64
 }
 
 type sfEntry[K comparable, V any] struct {
@@ -62,14 +71,14 @@ func newSFMemo[K comparable, V any](limit int) *sfMemo[K, V] {
 func (c *sfMemo[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
-		c.hits++
+		c.hits.Add(1)
 		c.lru.MoveToFront(e.elem)
 		c.mu.Unlock()
 		<-e.ready
 		return e.val, e.err
 	}
-	c.misses++
-	c.inFlight++
+	c.misses.Add(1)
+	c.inFlight.Add(1)
 	e := &sfEntry[K, V]{ready: make(chan struct{}), key: key}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
@@ -88,30 +97,51 @@ func (c *sfMemo[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 		}
 		c.lru.Remove(victim.elem)
 		delete(c.entries, victim.key)
-		c.evictions++
+		c.evictions.Add(1)
 	}
+	c.size.Store(int64(len(c.entries)))
 	c.mu.Unlock()
 
 	v, err := compute()
 	c.mu.Lock()
 	e.val, e.err = v, err
 	e.done = true
-	c.inFlight--
+	c.inFlight.Add(-1)
 	c.mu.Unlock()
 	close(e.ready)
 	return v, err
 }
 
-// Stats returns a snapshot of the memo's counters.
-func (c *sfMemo[K, V]) Stats() MemoStats {
+// Forget drops the entry for key if its computation has completed. Serving
+// paths use it to un-cache entries holding non-deterministic failures
+// (context cancellation, per-request timeouts), which would otherwise be
+// replayed to every later request for the same key until the entry aged
+// out of the LRU. An in-flight entry is left alone: its waiters already
+// coalesced on it, and the computing caller will decide what to do with
+// the outcome.
+func (c *sfMemo[K, V]) Forget(key K) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && e.done {
+		c.lru.Remove(e.elem)
+		delete(c.entries, key)
+		c.size.Store(int64(len(c.entries)))
+	}
+}
+
+// Stats returns a snapshot of the memo's counters. It is wait-free (pure
+// atomic loads), so reporting and metrics-scrape paths can call it at any
+// rate without contending with in-flight Do calls; the counters are read
+// individually, so a snapshot taken mid-burst may be slightly torn
+// between fields (e.g. a hit counted whose entry-touch is not yet
+// reflected elsewhere), which any monitoring consumer already tolerates.
+func (c *sfMemo[K, V]) Stats() MemoStats {
 	return MemoStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		InFlight:  c.inFlight,
-		Size:      len(c.entries),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		InFlight:  int(c.inFlight.Load()),
+		Size:      int(c.size.Load()),
 	}
 }
 
@@ -127,5 +157,8 @@ func (c *sfMemo[K, V]) Reset() {
 			delete(c.entries, k)
 		}
 	}
-	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.size.Store(int64(len(c.entries)))
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
 }

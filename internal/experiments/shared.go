@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+
 	"buspower/internal/bus"
 	"buspower/internal/coding"
 	"buspower/internal/workload"
@@ -116,7 +119,7 @@ func ClearEvalMemo() {
 func evalResultKeyed(ev *coding.Evaluator, tc coding.Transcoder, id traceID, lambda float64, cfg Config,
 	fetch func() ([]uint64, *bus.Meter, error)) (coding.Result, error) {
 	key := resultKey{config: coding.ConfigKey(tc), trace: id, lambda: lambda, verify: cfg.Verify.String()}
-	return resultMemo.Do(key, func() (coding.Result, error) {
+	res, err := resultMemo.Do(key, func() (coding.Result, error) {
 		tr, raw, err := fetch()
 		if err != nil {
 			return coding.Result{}, err
@@ -130,6 +133,14 @@ func evalResultKeyed(ev *coding.Evaluator, tc coding.Transcoder, id traceID, lam
 		res.Coded = res.Coded.Clone()
 		return res, nil
 	})
+	// Evaluation errors are deterministic in the key and stay cached, but
+	// cancellations and per-request timeouts (the serving path) are not a
+	// property of the key — drop those entries so the next identical
+	// request recomputes instead of replaying a stale failure.
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		resultMemo.Forget(key)
+	}
+	return res, err
 }
 
 // evalResult is evalResultKeyed for callers that already hold the trace

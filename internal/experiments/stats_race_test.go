@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"buspower/internal/bus"
+	"buspower/internal/coding"
+)
+
+// TestMemoStatsReadableUnderLoad is the -race regression test for the
+// reporting paths: Stats must be safely readable (and wait-free) while
+// many goroutines are driving Do, exactly as the serve /metrics scrape
+// reads the memo and cache counters while evaluations are in flight.
+func TestMemoStatsReadableUnderLoad(t *testing.T) {
+	m := newSFMemo[int, int](8)
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		scrapes.Add(1)
+		go func() {
+			defer scrapes.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := m.Stats()
+				if st.Size < 0 || st.InFlight < 0 {
+					t.Errorf("implausible snapshot: %+v", st)
+					return
+				}
+			}
+		}()
+	}
+	var workers sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			for i := 0; i < 500; i++ {
+				key := (w + i) % 32 // force hits, misses and evictions
+				if _, err := m.Do(key, func() (int, error) { return key * key, nil }); err != nil {
+					t.Errorf("Do(%d): %v", key, err)
+					return
+				}
+				if i%100 == 0 {
+					m.Forget(key)
+				}
+			}
+		}(w)
+	}
+	workers.Wait()
+	close(stop)
+	scrapes.Wait()
+	st := m.Stats()
+	if st.Hits+st.Misses != 8*500 {
+		t.Errorf("lost counts: hits %d + misses %d != %d", st.Hits, st.Misses, 8*500)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight %d after quiesce", st.InFlight)
+	}
+}
+
+// TestMemoForgetDropsCancellationErrors: a context-cancelled evaluation
+// must not be served from the memo to later identical requests.
+func TestMemoForgetDropsCancellationErrors(t *testing.T) {
+	m := newSFMemo[string, int](8)
+	fail := func() (int, error) { return 0, context.Canceled }
+	if _, err := m.Do("k", fail); !errors.Is(err, context.Canceled) {
+		t.Fatalf("seeded error: %v", err)
+	}
+	m.Forget("k")
+	v, err := m.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("recompute after Forget: %d, %v (want 7, nil)", v, err)
+	}
+	// A deterministic error, by contrast, stays cached until it ages out.
+	boom := fmt.Errorf("deterministic failure")
+	if _, err := m.Do("bad", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("seeded deterministic error: %v", err)
+	}
+	if _, err := m.Do("bad", func() (int, error) {
+		t.Error("deterministic error was recomputed")
+		return 0, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("cached deterministic error: %v", err)
+	}
+}
+
+// TestEvalResultMemoDropsCancellation: the full evalResultKeyed path must
+// recompute after a cancelled fetch instead of replaying the cancellation
+// to every later request for the same key (the serving-path poisoning
+// regression).
+func TestEvalResultMemoDropsCancellation(t *testing.T) {
+	tc, err := coding.NewStride(32, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := traceID{source: "stats-race-test-cancel", n: 10}
+	trace := []uint64{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}
+	var ev coding.Evaluator
+	// A fetch interrupted by cancellation (as when a per-request timeout
+	// fires mid-trace-load) fails this call...
+	_, err = evalResultKeyed(&ev, tc, id, 1, Config{}, func() ([]uint64, *bus.Meter, error) {
+		return nil, nil, context.Canceled
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fetch: %v", err)
+	}
+	// ...but must not be replayed to the next identical request.
+	res, err := evalResultKeyed(&ev, tc, id, 1, Config{}, func() ([]uint64, *bus.Meter, error) {
+		return trace, nil, nil
+	})
+	if err != nil {
+		t.Fatalf("identical request after cancellation still fails: %v", err)
+	}
+	if res.Raw.Cycles() == 0 {
+		t.Fatal("empty result after recompute")
+	}
+}

@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"buspower/internal/experiments"
+)
+
+func testServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 4
+	}
+	if opts.QueueDepth == 0 {
+		opts.QueueDepth = 8
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	return NewServer(opts)
+}
+
+func postEval(h http.Handler, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/eval", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// evalBody builds a small inline-trace request.
+func evalBody(scheme string) string {
+	return fmt.Sprintf(`{"values":[1,2,3,4,5,6,7,8,4,4,4,1,2,3],"scheme":%q}`, scheme)
+}
+
+func TestEvalEndpointTable(t *testing.T) {
+	srv := testServer(t, Options{RequestTimeout: 10 * time.Second})
+	h := srv.Handler()
+	cases := []struct {
+		name     string
+		method   string
+		body     string
+		wantCode int
+		wantIn   string // substring of the response body
+	}{
+		{"happy inline", http.MethodPost, evalBody("window:entries=8"), http.StatusOK, `"scheme":"window-8"`},
+		{"happy workload", http.MethodPost, `{"workload":"li","bus":"reg","quick":true,"scheme":"businvert"}`, http.StatusOK, `"source":"workload:li/reg"`},
+		{"happy random", http.MethodPost, `{"random":2000,"scheme":"stride:strides=4","lambda":2}`, http.StatusOK, `"source":"random:2000"`},
+		{"malformed JSON", http.MethodPost, `{"values":[1,2`, http.StatusBadRequest, "bad eval request"},
+		{"not JSON", http.MethodPost, `it's traces all the way down`, http.StatusBadRequest, "bad eval request"},
+		{"trailing garbage", http.MethodPost, evalBody("raw") + `{"again":true}`, http.StatusBadRequest, "trailing data"},
+		{"unknown field", http.MethodPost, `{"values":[1],"scheme":"raw","turbo":9}`, http.StatusBadRequest, "unknown field"},
+		{"no source", http.MethodPost, `{"scheme":"raw"}`, http.StatusBadRequest, "exactly one source"},
+		{"two sources", http.MethodPost, `{"random":5,"values":[1],"scheme":"raw"}`, http.StatusBadRequest, "exactly one source"},
+		{"unknown scheme", http.MethodPost, evalBody("quantum"), http.StatusBadRequest, "unknown scheme kind"},
+		{"bad scheme params", http.MethodPost, evalBody("window:entries=0"), http.StatusBadRequest, "outside"},
+		{"unbuildable scheme combo", http.MethodPost, evalBody("spatial"), http.StatusBadRequest, "outside [1, 6]"},
+		{"unknown workload", http.MethodPost, `{"workload":"doom","bus":"reg","scheme":"raw"}`, http.StatusBadRequest, "unknown benchmark"},
+		{"unknown bus", http.MethodPost, `{"workload":"li","bus":"q","scheme":"raw"}`, http.StatusBadRequest, "unknown bus"},
+		{"bad verify", http.MethodPost, evalBody("raw")[:len(evalBody("raw"))-1] + `,"verify":"psychic"}`, http.StatusBadRequest, "verification policy"},
+		{"wrong method", http.MethodGet, "", http.StatusMethodNotAllowed, "POST only"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req := httptest.NewRequest(c.method, "/v1/eval", strings.NewReader(c.body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != c.wantCode {
+				t.Fatalf("code %d, want %d; body: %s", rec.Code, c.wantCode, rec.Body.String())
+			}
+			if !strings.Contains(rec.Body.String(), c.wantIn) {
+				t.Fatalf("body %q does not contain %q", rec.Body.String(), c.wantIn)
+			}
+			if rec.Header().Get("X-Request-Id") == "" {
+				t.Fatal("missing X-Request-Id")
+			}
+			if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("content type %q", ct)
+			}
+		})
+	}
+}
+
+// TestEvalMatchesDirectPath: the served numbers must be identical to what
+// the request-shaped engine entry point (and hence the CLI experiment
+// path, proven in internal/experiments) computes.
+func TestEvalMatchesDirectPath(t *testing.T) {
+	srv := testServer(t, Options{})
+	rec := postEval(srv.Handler(), evalBody("context:table=16,sr=8"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d: %s", rec.Code, rec.Body.String())
+	}
+	var got experiments.EvalResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	req, err := experiments.ParseEvalRequest([]byte(evalBody("context:table=16,sr=8")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.EvaluateRequest(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != *want {
+		t.Fatalf("served response diverges from engine:\ngot  %+v\nwant %+v", got, *want)
+	}
+}
+
+func TestEvalOversizedBody(t *testing.T) {
+	srv := testServer(t, Options{MaxBodyBytes: 256})
+	var b bytes.Buffer
+	b.WriteString(`{"values":[`)
+	for i := 0; i < 2000; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", i)
+	}
+	b.WriteString(`],"scheme":"raw"}`)
+	rec := postEval(srv.Handler(), b.String())
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("code %d, want 413; body: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "256 bytes") {
+		t.Fatalf("body %q does not name the limit", rec.Body.String())
+	}
+}
+
+func TestEvalTimeout(t *testing.T) {
+	// A 1ns request timeout has always expired by the time the evaluation
+	// starts, so the request must come back as 504, not hang or 500.
+	srv := testServer(t, Options{RequestTimeout: time.Nanosecond})
+	rec := postEval(srv.Handler(), evalBody("window:entries=4"))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("code %d, want 504; body: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestEvalSaturationShedsWith429(t *testing.T) {
+	srv := testServer(t, Options{Workers: 1, QueueDepth: -1, RequestTimeout: 5 * time.Second})
+	// Occupy the single worker slot so the next request finds the (empty)
+	// queue full.
+	release, err := srv.pool.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	rec := postEval(srv.Handler(), evalBody("raw"))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("code %d, want 429; body: %s", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Validation failures must be rejected before consuming pool capacity,
+	// so they still answer 400 (not 429) while saturated.
+	if rec := postEval(srv.Handler(), evalBody("quantum")); rec.Code != http.StatusBadRequest {
+		t.Fatalf("validation under saturation: code %d, want 400", rec.Code)
+	}
+}
+
+func TestHealthzAndDrainingFlag(t *testing.T) {
+	srv := testServer(t, Options{})
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+	srv.draining.Store(true)
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), `"draining"`) {
+		t.Fatalf("draining healthz: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestSchemesAndWorkloadsEndpoints(t *testing.T) {
+	srv := testServer(t, Options{})
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/schemes", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("schemes: %d", rec.Code)
+	}
+	for _, kind := range []string{"window", "context", "businvert"} {
+		if !strings.Contains(rec.Body.String(), fmt.Sprintf("%q", kind)) {
+			t.Errorf("schemes listing missing %q: %s", kind, rec.Body.String())
+		}
+	}
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/workloads", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"li"`) {
+		t.Fatalf("workloads: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t, Options{})
+	h := srv.Handler()
+	postEval(h, evalBody("window:entries=8")) // seed at least one request
+	postEval(h, evalBody("nonsense"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`buspower_requests_total{handler="eval",code="200"}`,
+		`buspower_requests_total{handler="eval",code="400"}`,
+		"buspower_request_duration_seconds_bucket",
+		`le="+Inf"`,
+		"buspower_eval_memo_hits",
+		"buspower_eval_memo_misses",
+		"buspower_trace_cache_mem_hits",
+		"buspower_raw_meter_memo_hits",
+		"buspower_pool_inflight 0",
+		"buspower_pool_rejected_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestConcurrentMixedLoad is the -race test the acceptance criteria ask
+// for: 100 parallel requests of mixed kinds against a live server, every
+// eval answer identical to the engine's direct answer for the same
+// request, and the pool gauges settling back to zero.
+func TestConcurrentMixedLoad(t *testing.T) {
+	srv := testServer(t, Options{Workers: 8, QueueDepth: 200, RequestTimeout: 60 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	bodies := []string{
+		evalBody("window:entries=8"),
+		evalBody("context:table=16,sr=8"),
+		evalBody("businvert"),
+		evalBody("stride:strides=4"),
+		`{"random":3000,"scheme":"window:entries=4"}`,
+		`{"workload":"li","bus":"reg","quick":true,"scheme":"window:entries=8"}`,
+		`{"workload":"compress","bus":"mem","quick":true,"scheme":"businvert"}`,
+	}
+	// Direct engine answers to compare against (computed once, up front —
+	// they also warm the memo for some, but not all, of the traffic).
+	want := make(map[string]string, len(bodies))
+	for _, body := range bodies {
+		req, err := experiments.ParseEvalRequest([]byte(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := experiments.EvaluateRequest(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[body] = string(data)
+	}
+
+	const parallel = 100
+	var wg sync.WaitGroup
+	errs := make(chan error, parallel)
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := bodies[i%len(bodies)]
+			resp, err := http.Post(ts.URL+"/v1/eval", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("request %d: code %d: %s", i, resp.StatusCode, buf.String())
+				return
+			}
+			if got := strings.TrimSpace(buf.String()); got != want[body] {
+				errs <- fmt.Errorf("request %d diverged:\ngot  %s\nwant %s", i, got, want[body])
+			}
+		}(i)
+	}
+	// Scrape /metrics concurrently with the load — the exposition path
+	// must be race-free against in-flight evaluations.
+	stop := make(chan struct{})
+	var scrape sync.WaitGroup
+	scrape.Add(1)
+	go func() {
+		defer scrape.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scrape.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if inflight, waiting, _ := srv.pool.stats(); inflight != 0 || waiting != 0 {
+		t.Fatalf("pool not idle after load: inflight %d waiting %d", inflight, waiting)
+	}
+}
+
+// TestGracefulDrain: cancelling the serve context must flip /healthz to
+// draining, let the in-flight request finish, and return nil from Serve.
+func TestGracefulDrain(t *testing.T) {
+	srv := testServer(t, Options{DrainTimeout: 10 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Wait until the server answers.
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	r, err := http.Post(base+"/v1/eval", "application/json", strings.NewReader(evalBody("raw")))
+	if err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("eval before drain: %v %v", err, r)
+	}
+	r.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+}

@@ -1,0 +1,88 @@
+// Package serve exposes the experiments engine over an HTTP JSON API:
+// submitted traces (or named SPEC-analog workloads) plus a coding-scheme
+// configuration in, transition/coupling/energy statistics out, answered
+// through the same trace cache and evaluation-result memo the CLI uses,
+// so repeated traffic is near-free. The server is built for sustained
+// concurrent load: a bounded worker pool with queue backpressure (429 +
+// Retry-After when saturated), per-request timeouts, request size
+// limits, graceful drain on shutdown, and an observability surface
+// (/metrics, /healthz, structured per-request logs, optional pprof).
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errSaturated is returned by pool.acquire when the queue is full; the
+// HTTP layer translates it to 429 + Retry-After.
+var errSaturated = errors.New("serve: worker pool saturated")
+
+// pool is the evaluation admission controller: at most `workers` requests
+// evaluate concurrently, at most `queue` more wait for a slot, and
+// everything beyond that is rejected immediately — the server sheds load
+// with a fast 429 instead of stacking unbounded goroutines until memory
+// or latency collapses.
+//
+// Waiters are admitted in select order (not strict FIFO), which is fine
+// for a cache-backed service: fairness over a few hundred milliseconds
+// matters less than never queuing unbounded work.
+type pool struct {
+	slots    chan struct{} // capacity = workers
+	queue    int64         // max waiters
+	waiting  atomic.Int64
+	inflight atomic.Int64
+	rejected atomic.Uint64
+}
+
+func newPool(workers, queue int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &pool{slots: make(chan struct{}, workers), queue: int64(queue)}
+}
+
+// acquire claims a worker slot, waiting in the bounded queue if none is
+// free. It returns a release function on success; errSaturated when the
+// queue is already full; or ctx.Err() if the caller's context ends first
+// (a request whose deadline fires while queued never starts evaluating).
+func (p *pool) acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a slot is free right now.
+	select {
+	case p.slots <- struct{}{}:
+		return p.claim(), nil
+	default:
+	}
+	if p.waiting.Add(1) > p.queue {
+		p.waiting.Add(-1)
+		p.rejected.Add(1)
+		return nil, errSaturated
+	}
+	defer p.waiting.Add(-1)
+	select {
+	case p.slots <- struct{}{}:
+		return p.claim(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (p *pool) claim() func() {
+	p.inflight.Add(1)
+	var released atomic.Bool
+	return func() {
+		if released.CompareAndSwap(false, true) {
+			p.inflight.Add(-1)
+			<-p.slots
+		}
+	}
+}
+
+// stats reports the pool's instantaneous and cumulative state.
+func (p *pool) stats() (inflight, waiting int64, rejected uint64) {
+	return p.inflight.Load(), p.waiting.Load(), p.rejected.Load()
+}

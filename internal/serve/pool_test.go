@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolAdmitsUpToWorkers(t *testing.T) {
+	p := newPool(2, 0)
+	r1, err := p.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.acquire(context.Background()); !errors.Is(err, errSaturated) {
+		t.Fatalf("third acquire: %v, want errSaturated", err)
+	}
+	r1()
+	r3, err := p.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	r2()
+	r3()
+	if inflight, waiting, _ := p.stats(); inflight != 0 || waiting != 0 {
+		t.Fatalf("pool not idle: inflight %d waiting %d", inflight, waiting)
+	}
+}
+
+func TestPoolQueueWaitsAndRespectsContext(t *testing.T) {
+	p := newPool(1, 1)
+	release, err := p.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue and is admitted once the slot frees.
+	admitted := make(chan error, 1)
+	go func() {
+		r, err := p.acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		admitted <- err
+	}()
+	// Give the waiter time to enqueue, then verify the queue is full.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, waiting, _ := p.stats(); waiting == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := p.acquire(context.Background()); !errors.Is(err, errSaturated) {
+		t.Fatalf("overflow acquire: %v, want errSaturated", err)
+	}
+	release()
+	if err := <-admitted; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+
+	// A waiter whose context expires while queued gets the context error.
+	release2, err := p.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := p.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired waiter: %v, want DeadlineExceeded", err)
+	}
+	release2()
+}
+
+func TestPoolReleaseIdempotent(t *testing.T) {
+	p := newPool(1, 0)
+	r, err := p.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+	r() // double release must not free a phantom slot
+	r2, err := p.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.acquire(context.Background()); !errors.Is(err, errSaturated) {
+		t.Fatalf("slot leaked by double release: %v", err)
+	}
+	r2()
+}
+
+// TestPoolHammer drives the pool from many goroutines under -race: no
+// lost slots, no negative gauges, accepted+rejected+expired accounts for
+// every attempt.
+func TestPoolHammer(t *testing.T) {
+	p := newPool(4, 8)
+	var accepted, rejected, expired atomic.Uint64
+	var peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+				release, err := p.acquire(ctx)
+				switch {
+				case err == nil:
+					in, _, _ := p.stats()
+					for {
+						old := peak.Load()
+						if in <= old || peak.CompareAndSwap(old, in) {
+							break
+						}
+					}
+					accepted.Add(1)
+					time.Sleep(50 * time.Microsecond)
+					release()
+				case errors.Is(err, errSaturated):
+					rejected.Add(1)
+				default:
+					expired.Add(1)
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	total := accepted.Load() + rejected.Load() + expired.Load()
+	if total != 32*50 {
+		t.Fatalf("lost attempts: %d accounted, want %d", total, 32*50)
+	}
+	if accepted.Load() == 0 {
+		t.Fatal("nothing was admitted")
+	}
+	if peak.Load() > 4 {
+		t.Fatalf("inflight peaked at %d, limit 4", peak.Load())
+	}
+	if inflight, waiting, _ := p.stats(); inflight != 0 || waiting != 0 {
+		t.Fatalf("pool not idle after hammer: inflight %d waiting %d", inflight, waiting)
+	}
+}
