@@ -43,6 +43,12 @@
 // The serve subcommand exposes the same memoized evaluation engine as an
 // HTTP JSON API (POST /v1/eval, plus /v1/schemes, /v1/workloads,
 // /healthz and Prometheus-format /metrics); see "Serving" in README.md.
+// Batches and whole experiment suites run asynchronously behind
+// POST /v1/jobs: jobs are content-addressed, drained by a dedicated
+// worker pool, observable via GET /v1/jobs/{id} (or the SSE stream at
+// /v1/jobs/{id}/events), cancellable via DELETE, and journaled under
+// -jobs-dir so completed results survive restarts; see "Jobs API" in
+// README.md.
 package main
 
 import (

@@ -154,6 +154,18 @@ func Run(id string, cfg Config) (*Table, error) {
 	return t, nil
 }
 
+// RunContext executes the experiment with the given id, carrying ctx
+// into the runner's inner sweep loops so a long full-mode experiment can
+// be cancelled cooperatively between evaluation points. It is the async
+// job engine's per-item entry point; Run is the plain uncancellable
+// path and produces byte-identical tables.
+func RunContext(ctx context.Context, id string, cfg Config) (*Table, error) {
+	if ctx != nil {
+		cfg.ctx = ctx
+	}
+	return Run(id, cfg)
+}
+
 // IDs lists all experiment identifiers in a stable order: tables first,
 // then figures, each numerically.
 func IDs() []string {

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 )
@@ -31,9 +33,14 @@ type MemoStats struct {
 // instances of it.
 //
 // Errors are memoized alongside values, mirroring the original behavior:
-// a failed computation is not retried until its entry ages out. Callers
-// whose errors are *not* deterministic (e.g. context cancellation on a
-// serving path) must drop the entry with Forget.
+// a failed computation is not retried until its entry ages out. The one
+// exception is context errors (cancellation, deadline): those belong to
+// the *leader's* request, not to the key, so the entry is dropped the
+// moment the leader finishes and every coalesced waiter transparently
+// re-runs Do — one of them becomes the new leader under its own context
+// instead of all of them failing with an error their own contexts never
+// produced. Other non-deterministic failures can still be dropped
+// explicitly with Forget.
 //
 // The counters are atomics, not mu-guarded fields, so Stats is wait-free:
 // a metrics scrape under load observes them without contending with (or
@@ -58,8 +65,13 @@ type sfEntry[K comparable, V any] struct {
 	// done is set under sfMemo.mu before ready is closed; only done
 	// entries are eviction candidates.
 	done bool
-	key  K
-	elem *list.Element
+	// retry is set (under mu, before ready is closed) when the leader's
+	// computation ended with a context error: the entry has already been
+	// un-cached and waiters must re-run Do instead of adopting a failure
+	// that belongs to the leader's request, not to the key.
+	retry bool
+	key   K
+	elem  *list.Element
 }
 
 func newSFMemo[K comparable, V any](limit int) *sfMemo[K, V] {
@@ -67,58 +79,79 @@ func newSFMemo[K comparable, V any](limit int) *sfMemo[K, V] {
 }
 
 // Do returns the memoized value for key, running compute (without holding
-// the memo lock) if no entry exists yet.
+// the memo lock) if no entry exists yet. A waiter that coalesced onto a
+// leader whose computation was cancelled retries (counting another hit or
+// miss), so hits+misses can exceed the number of Do calls only across
+// cancelled computations.
 func (c *sfMemo[K, V]) Do(key K, compute func() (V, error)) (V, error) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.hits.Add(1)
-		c.lru.MoveToFront(e.elem)
-		c.mu.Unlock()
-		<-e.ready
-		return e.val, e.err
-	}
-	c.misses.Add(1)
-	c.inFlight.Add(1)
-	e := &sfEntry[K, V]{ready: make(chan struct{}), key: key}
-	e.elem = c.lru.PushFront(e)
-	c.entries[key] = e
-	for len(c.entries) > c.limit {
-		var victim *sfEntry[K, V]
-		for le := c.lru.Back(); le != nil; le = le.Prev() {
-			if cand := le.Value.(*sfEntry[K, V]); cand.done {
-				victim = cand
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.hits.Add(1)
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			<-e.ready
+			if e.retry {
+				// The leader was cancelled or timed out; this caller's
+				// context may be fine. The entry is already gone — race to
+				// become the new leader (the losers coalesce on the winner).
+				continue
+			}
+			return e.val, e.err
+		}
+		c.misses.Add(1)
+		c.inFlight.Add(1)
+		e := &sfEntry[K, V]{ready: make(chan struct{}), key: key}
+		e.elem = c.lru.PushFront(e)
+		c.entries[key] = e
+		for len(c.entries) > c.limit {
+			var victim *sfEntry[K, V]
+			for le := c.lru.Back(); le != nil; le = le.Prev() {
+				if cand := le.Value.(*sfEntry[K, V]); cand.done {
+					victim = cand
+					break
+				}
+			}
+			if victim == nil {
+				// Every entry is in flight: tolerate a temporary overshoot
+				// rather than evict work in progress.
 				break
 			}
+			c.lru.Remove(victim.elem)
+			delete(c.entries, victim.key)
+			c.evictions.Add(1)
 		}
-		if victim == nil {
-			// Every entry is in flight: tolerate a temporary overshoot
-			// rather than evict work in progress.
-			break
-		}
-		c.lru.Remove(victim.elem)
-		delete(c.entries, victim.key)
-		c.evictions.Add(1)
-	}
-	c.size.Store(int64(len(c.entries)))
-	c.mu.Unlock()
+		c.size.Store(int64(len(c.entries)))
+		c.mu.Unlock()
 
-	v, err := compute()
-	c.mu.Lock()
-	e.val, e.err = v, err
-	e.done = true
-	c.inFlight.Add(-1)
-	c.mu.Unlock()
-	close(e.ready)
-	return v, err
+		v, err := compute()
+		c.mu.Lock()
+		e.val, e.err = v, err
+		e.done = true
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The leader's request died, not the computation for this key:
+			// un-cache the entry so waiters retry and later callers miss,
+			// instead of replaying an error their own contexts never
+			// produced. The leader itself still returns its own error.
+			e.retry = true
+			c.lru.Remove(e.elem)
+			delete(c.entries, key)
+		}
+		c.inFlight.Add(-1)
+		c.size.Store(int64(len(c.entries)))
+		c.mu.Unlock()
+		close(e.ready)
+		return v, err
+	}
 }
 
-// Forget drops the entry for key if its computation has completed. Serving
-// paths use it to un-cache entries holding non-deterministic failures
-// (context cancellation, per-request timeouts), which would otherwise be
-// replayed to every later request for the same key until the entry aged
-// out of the LRU. An in-flight entry is left alone: its waiters already
-// coalesced on it, and the computing caller will decide what to do with
-// the outcome.
+// Forget drops the entry for key if its computation has completed. Do
+// already un-caches context errors on its own; Forget covers any other
+// failure a caller knows to be non-deterministic, which would otherwise
+// be replayed to every later request for the same key until the entry
+// aged out of the LRU. An in-flight entry is left alone: its waiters
+// already coalesced on it, and the computing caller will decide what to
+// do with the outcome.
 func (c *sfMemo[K, V]) Forget(key K) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

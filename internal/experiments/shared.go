@@ -1,9 +1,6 @@
 package experiments
 
 import (
-	"context"
-	"errors"
-
 	"buspower/internal/bus"
 	"buspower/internal/coding"
 	"buspower/internal/workload"
@@ -133,13 +130,11 @@ func evalResultKeyed(ev *coding.Evaluator, tc coding.Transcoder, id traceID, lam
 		res.Coded = res.Coded.Clone()
 		return res, nil
 	})
-	// Evaluation errors are deterministic in the key and stay cached, but
+	// Evaluation errors are deterministic in the key and stay cached;
 	// cancellations and per-request timeouts (the serving path) are not a
-	// property of the key — drop those entries so the next identical
-	// request recomputes instead of replaying a stale failure.
-	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-		resultMemo.Forget(key)
-	}
+	// property of the key, and the memo itself un-caches them on
+	// completion — later identical requests recompute, and concurrently
+	// coalesced waiters re-run instead of inheriting the leader's death.
 	return res, err
 }
 

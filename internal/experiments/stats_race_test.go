@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"buspower/internal/bus"
 	"buspower/internal/coding"
@@ -89,6 +91,101 @@ func TestMemoForgetDropsCancellationErrors(t *testing.T) {
 		return 0, nil
 	}); !errors.Is(err, boom) {
 		t.Fatalf("cached deterministic error: %v", err)
+	}
+}
+
+// TestMemoCancelledLeaderDoesNotFailWaiters is the single-flight
+// error-coalescing regression test (run under -race in CI): when the
+// leader's computation dies with the leader's *own* context error, the
+// concurrently coalesced waiters — whose contexts are fine — must not
+// inherit that failure. Exactly one waiter re-runs the computation and
+// every waiter observes its successful result; only the leader sees the
+// cancellation.
+func TestMemoCancelledLeaderDoesNotFailWaiters(t *testing.T) {
+	m := newSFMemo[string, int](8)
+	leaderIn := make(chan struct{})
+	leaderGo := make(chan struct{})
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, leaderErr = m.Do("k", func() (int, error) {
+			close(leaderIn)
+			<-leaderGo
+			// The leader's request was cancelled mid-computation.
+			return 0, context.Canceled
+		})
+	}()
+	<-leaderIn
+
+	const waiters = 8
+	vals := make([]int, waiters)
+	errs := make([]error, waiters)
+	var recomputes atomic.Int64
+	var wwg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wwg.Add(1)
+		go func(i int) {
+			defer wwg.Done()
+			vals[i], errs[i] = m.Do("k", func() (int, error) {
+				recomputes.Add(1)
+				return 42, nil
+			})
+		}(i)
+	}
+	// Every waiter registers a hit when it coalesces onto the in-flight
+	// entry; wait until all have joined before failing the leader, so the
+	// test exercises live waiters rather than late arrivals.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Hits < waiters {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never coalesced onto the in-flight entry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(leaderGo)
+	wg.Wait()
+	wwg.Wait()
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Fatalf("leader error %v, want its own context.Canceled", leaderErr)
+	}
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil || vals[i] != 42 {
+			t.Fatalf("waiter %d: got (%d, %v), want (42, nil) — leader's cancellation leaked", i, vals[i], errs[i])
+		}
+	}
+	if n := recomputes.Load(); n != 1 {
+		t.Fatalf("computation re-ran %d times after the cancelled leader, want exactly 1", n)
+	}
+	// The successful recomputation is cached for later callers.
+	v, err := m.Do("k", func() (int, error) {
+		t.Error("cached successful result was recomputed")
+		return 0, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("post-recovery lookup: (%d, %v), want (42, nil)", v, err)
+	}
+	if st := m.Stats(); st.InFlight != 0 {
+		t.Fatalf("InFlight = %d after quiesce", st.InFlight)
+	}
+}
+
+// TestMemoCancelledLeaderWithNoWaiters: with nobody coalesced, a
+// context-cancelled computation simply leaves no entry behind — the next
+// caller for the key recomputes without needing Forget.
+func TestMemoCancelledLeaderWithNoWaiters(t *testing.T) {
+	m := newSFMemo[string, int](8)
+	if _, err := m.Do("k", func() (int, error) { return 0, context.DeadlineExceeded }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("leader error: %v", err)
+	}
+	if st := m.Stats(); st.Size != 0 {
+		t.Fatalf("cancelled entry retained: size %d", st.Size)
+	}
+	v, err := m.Do("k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("recompute after deadline error: (%d, %v), want (9, nil)", v, err)
 	}
 }
 

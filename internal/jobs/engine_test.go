@@ -1,0 +1,307 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"buspower/internal/experiments"
+)
+
+// evalItems builds n distinct canonical eval items (inline traces of
+// different lengths, so their content addresses differ).
+func evalItems(n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		req := experiments.EvalRequest{Scheme: "raw", Values: make([]uint64, i+1)}
+		items[i] = Item{Kind: "eval", Eval: &req}
+	}
+	return items
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(t *testing.T, e *Engine, id string) *Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if j, ok := e.Get(id); ok && j.State.Terminal() {
+			return j
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j, _ := e.Get(id)
+	t.Fatalf("job %s never reached a terminal state: %+v", id, j)
+	return nil
+}
+
+func newTestEngine(t *testing.T, dir string, workers, queue int) *Engine {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(s, workers, queue)
+}
+
+func TestEngineRunsJobToDone(t *testing.T) {
+	e := newTestEngine(t, "", 2, 0)
+	var calls atomic.Int64
+	e.runEval = func(ctx context.Context, req *experiments.EvalRequest) (interface{}, error) {
+		calls.Add(1)
+		return map[string]int{"len": len(req.Values)}, nil
+	}
+	e.Start()
+	defer e.Drain(context.Background())
+
+	items := evalItems(3)
+	j, created, err := e.Submit(items)
+	if err != nil || !created {
+		t.Fatalf("submit: created=%v err=%v", created, err)
+	}
+	final := waitTerminal(t, e, j.ID)
+	if final.State != StateDone || final.Progress.Done != 3 {
+		t.Fatalf("final: state=%s progress=%+v", final.State, final.Progress)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("runEval called %d times, want 3", calls.Load())
+	}
+	if final.StartedAt == nil || final.FinishedAt == nil {
+		t.Error("timestamps not set on completion")
+	}
+	for i, r := range final.Results {
+		if r.Status != ItemDone || len(r.Result) == 0 || r.ElapsedMS < 0 {
+			t.Errorf("item %d: %+v", i, r)
+		}
+	}
+	if st := e.Stats(); st.ItemsCompleted != 3 {
+		t.Errorf("ItemsCompleted = %d, want 3", st.ItemsCompleted)
+	}
+	if ss := e.StoreStats(); ss.JobsByState[StateDone] != 1 {
+		t.Errorf("StoreStats: %+v, want one done job", ss.JobsByState)
+	}
+	// A subscription on a terminal job closes immediately.
+	ch, cancel, ok := e.Subscribe(j.ID)
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	defer cancel()
+	if _, open := <-ch; open {
+		t.Error("terminal subscription delivered an event instead of closing")
+	}
+}
+
+func TestEngineFailedItemFailsJob(t *testing.T) {
+	e := newTestEngine(t, "", 2, 0)
+	e.runEval = func(ctx context.Context, req *experiments.EvalRequest) (interface{}, error) {
+		if len(req.Values) == 2 {
+			return nil, errors.New("boom")
+		}
+		return "ok", nil
+	}
+	e.Start()
+	defer e.Drain(context.Background())
+
+	j, _, err := e.Submit(evalItems(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, e, j.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state = %s, want failed", final.State)
+	}
+	if final.Progress.Done != 2 || final.Progress.Failed != 1 {
+		t.Fatalf("progress %+v, want 2 done / 1 failed", final.Progress)
+	}
+	if final.Results[1].Error != "boom" {
+		t.Errorf("failed item error = %q", final.Results[1].Error)
+	}
+}
+
+func TestEngineDedupServedWithoutRerun(t *testing.T) {
+	e := newTestEngine(t, "", 1, 0)
+	var calls atomic.Int64
+	e.runEval = func(context.Context, *experiments.EvalRequest) (interface{}, error) {
+		calls.Add(1)
+		return "ok", nil
+	}
+	e.Start()
+	defer e.Drain(context.Background())
+
+	items := evalItems(2)
+	j, _, err := e.Submit(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, e, j.ID)
+	before := calls.Load()
+
+	j2, created, err := e.Submit(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created || j2.State != StateDone {
+		t.Fatalf("resubmission: created=%v state=%s, want coalesced done", created, j2.State)
+	}
+	if calls.Load() != before {
+		t.Errorf("resubmission re-ran items: %d calls, want %d", calls.Load(), before)
+	}
+}
+
+func TestEngineCancelMidRun(t *testing.T) {
+	e := newTestEngine(t, "", 1, 0)
+	started := make(chan struct{}, 8)
+	e.runEval = func(ctx context.Context, req *experiments.EvalRequest) (interface{}, error) {
+		started <- struct{}{}
+		<-ctx.Done() // park until cancelled
+		return nil, ctx.Err()
+	}
+	e.Start()
+	defer e.Drain(context.Background())
+
+	j, _, err := e.Submit(evalItems(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // one item is in flight (single worker), two queued
+	cj, ok := e.Cancel(j.ID)
+	if !ok {
+		t.Fatal("cancel: job unknown")
+	}
+	if cj.State != StateCancelled {
+		t.Fatalf("state after cancel = %s, want cancelled (immediately)", cj.State)
+	}
+	// The job is terminal immediately; per-item cancelled markers land as
+	// each queued/running ref drains through a worker.
+	final := waitTerminal(t, e, j.ID)
+	if final.State != StateCancelled {
+		t.Fatalf("final state = %s, want cancelled", final.State)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for final.Progress.Cancelled != 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+		final, _ = e.Get(j.ID)
+	}
+	if final.Progress.Cancelled != 3 {
+		t.Errorf("progress %+v, want all 3 items cancelled", final.Progress)
+	}
+	// Cancelling a terminal job is an idempotent no-op.
+	again, ok := e.Cancel(j.ID)
+	if !ok || again.State != StateCancelled {
+		t.Errorf("second cancel: ok=%v state=%s", ok, again.State)
+	}
+}
+
+func TestEngineQueueFullRejectsWholeJob(t *testing.T) {
+	e := newTestEngine(t, "", 1, 2)
+	e.Start()
+	defer e.Drain(context.Background())
+	_, _, err := e.Submit(evalItems(3))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	// Nothing may have been journaled for a rejected job.
+	if n := len(e.List()); n != 0 {
+		t.Fatalf("%d jobs stored after rejection, want 0", n)
+	}
+}
+
+func TestEngineSubmitAfterDrainRejected(t *testing.T) {
+	e := newTestEngine(t, "", 1, 0)
+	e.Start()
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Submit(evalItems(1)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("err = %v, want ErrDraining", err)
+	}
+}
+
+// TestEngineRestartResumesIncompleteWork is the crash-recovery
+// acceptance path in miniature: item 0 completes, the process "dies"
+// mid-item-1, and the next engine re-runs only item 1.
+func TestEngineRestartResumesIncompleteWork(t *testing.T) {
+	dir := t.TempDir()
+	e1 := newTestEngine(t, dir, 1, 0)
+	blocked := make(chan struct{})
+	e1.runEval = func(ctx context.Context, req *experiments.EvalRequest) (interface{}, error) {
+		if len(req.Values) == 2 {
+			close(blocked)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return fmt.Sprintf("gen1:%d", len(req.Values)), nil
+	}
+	e1.Start()
+	items := evalItems(2)
+	j, _, err := e1.Submit(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocked // item 0 done (single worker runs in order), item 1 parked
+
+	// Forced drain: the expired context aborts item 1 through its ctx.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e1.Drain(expired); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	e2 := newTestEngine(t, dir, 1, 0)
+	var calls atomic.Int64
+	e2.runEval = func(ctx context.Context, req *experiments.EvalRequest) (interface{}, error) {
+		calls.Add(1)
+		return fmt.Sprintf("gen2:%d", len(req.Values)), nil
+	}
+	recovered, ok := e2.Get(j.ID)
+	if !ok || recovered.State.Terminal() {
+		t.Fatalf("job not recovered as incomplete: %+v", recovered)
+	}
+	if recovered.Results[0].Status != ItemDone {
+		t.Fatalf("completed item lost across restart: %+v", recovered.Results[0])
+	}
+	e2.Start()
+	defer e2.Drain(context.Background())
+	final := waitTerminal(t, e2, j.ID)
+	if final.State != StateDone {
+		t.Fatalf("resumed job state = %s, want done", final.State)
+	}
+	if got := string(final.Results[0].Result); got != `"gen1:1"` {
+		t.Errorf("item 0 was re-run after restart: %s", got)
+	}
+	if got := string(final.Results[1].Result); got != `"gen2:2"` {
+		t.Errorf("item 1 result = %s, want the resumed run's", got)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("restart ran %d items, want exactly the 1 incomplete one", calls.Load())
+	}
+}
+
+func TestEngineRunsExperimentItems(t *testing.T) {
+	e := newTestEngine(t, "", 1, 0)
+	var got []string
+	done := make(chan struct{})
+	e.runExperiment = func(ctx context.Context, it Item) (interface{}, error) {
+		got = append(got, fmt.Sprintf("%s/quick=%v", it.Experiment, it.Quick))
+		if len(got) == 2 {
+			close(done)
+		}
+		return map[string]string{"id": it.Experiment}, nil
+	}
+	e.Start()
+	defer e.Drain(context.Background())
+	j, _, err := e.Submit(mkItems("table3", "fig15"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, e, j.ID)
+	<-done
+	if final.State != StateDone {
+		t.Fatalf("state = %s", final.State)
+	}
+	if len(got) != 2 || got[0] != "table3/quick=true" || got[1] != "fig15/quick=true" {
+		t.Errorf("experiment invocations: %v", got)
+	}
+}

@@ -150,11 +150,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics answers GET /metrics in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.metrics.render(w, s.pool)
+	s.metrics.render(w, s.pool, s.jobs)
 }
 
+// maxRetryAfterSeconds caps the 429 back-off hint: a server run with a
+// long full-mode -timeout (minutes) is telling clients how long one
+// evaluation may take, not how long the queue needs to drain — without
+// the cap, shed clients would be told to go away for the whole timeout.
+const maxRetryAfterSeconds = 30
+
 // retryAfterSeconds estimates how long a shed client should back off: one
-// nominal request-timeout's worth of drain, floored at 1s.
+// nominal request-timeout's worth of drain, floored at 1s and capped at
+// maxRetryAfterSeconds.
 func (s *Server) retryAfterSeconds() int {
 	if s.opts.RequestTimeout <= 0 {
 		return 1
@@ -162,6 +169,9 @@ func (s *Server) retryAfterSeconds() int {
 	secs := int(s.opts.RequestTimeout.Seconds())
 	if secs < 1 {
 		secs = 1
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
 	}
 	return secs
 }

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -148,7 +149,9 @@ func TestEvalTimeout(t *testing.T) {
 }
 
 func TestEvalSaturationShedsWith429(t *testing.T) {
-	srv := testServer(t, Options{Workers: 1, QueueDepth: -1, RequestTimeout: 5 * time.Second})
+	// A long full-mode -timeout must not leak into the back-off hint: the
+	// Retry-After on a shed request is capped, not the whole 10 minutes.
+	srv := testServer(t, Options{Workers: 1, QueueDepth: -1, RequestTimeout: 10 * time.Minute})
 	// Occupy the single worker slot so the next request finds the (empty)
 	// queue full.
 	release, err := srv.pool.acquire(context.Background())
@@ -160,8 +163,12 @@ func TestEvalSaturationShedsWith429(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("code %d, want 429; body: %s", rec.Code, rec.Body.String())
 	}
-	if ra := rec.Header().Get("Retry-After"); ra == "" {
+	ra := rec.Header().Get("Retry-After")
+	if ra == "" {
 		t.Fatal("429 without Retry-After")
+	}
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > maxRetryAfterSeconds {
+		t.Fatalf("Retry-After %q outside [1, %d] under a 10m request timeout", ra, maxRetryAfterSeconds)
 	}
 	// Validation failures must be rejected before consuming pool capacity,
 	// so they still answer 400 (not 429) while saturated.

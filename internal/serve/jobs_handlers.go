@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"buspower/internal/jobs"
+)
+
+// The /v1/jobs surface: asynchronous batch evaluation over the same
+// engine /v1/eval uses synchronously. A submission is validated whole,
+// content-addressed, journaled, and drained by a dedicated worker pool;
+// clients poll GET /v1/jobs/{id} or stream GET /v1/jobs/{id}/events.
+
+// jobSummary is the list view: everything but the (potentially large)
+// per-item payloads.
+type jobSummary struct {
+	ID         string        `json:"id"`
+	State      jobs.State    `json:"state"`
+	CreatedAt  time.Time     `json:"created_at"`
+	StartedAt  *time.Time    `json:"started_at,omitempty"`
+	FinishedAt *time.Time    `json:"finished_at,omitempty"`
+	Progress   jobs.Progress `json:"progress"`
+}
+
+func summarize(j *jobs.Job) jobSummary {
+	return jobSummary{
+		ID:         j.ID,
+		State:      j.State,
+		CreatedAt:  j.CreatedAt,
+		StartedAt:  j.StartedAt,
+		FinishedAt: j.FinishedAt,
+		Progress:   j.Progress,
+	}
+}
+
+// handleJobSubmit answers POST /v1/jobs: a jobs.Spec in (a batch of eval
+// requests or an experiment suite), the accepted job out. 202 means new
+// work was scheduled; 200 means the submission coalesced onto an
+// existing job with the same content address — for a done job that is
+// the complete result, served from the journal without re-evaluation.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	items, err := jobs.ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, created, err := s.jobs.Submit(items)
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			writeError(w, http.StatusTooManyRequests, "job queue full")
+		case errors.Is(err, jobs.ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, "server draining")
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	code := http.StatusOK
+	if created {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, j)
+}
+
+// handleJobList answers GET /v1/jobs with summaries in submission order.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	all := s.jobs.List()
+	out := make([]jobSummary, 0, len(all))
+	for _, j := range all {
+		out = append(out, summarize(j))
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": out})
+}
+
+// handleJobGet answers GET /v1/jobs/{id} with the full job, including
+// per-item progress and any partial results already completed.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// handleJobCancel answers DELETE /v1/jobs/{id}: cooperative
+// cancellation. Queued items short-circuit; the running ones see their
+// context end. Cancelling a terminal job is a no-op returning its final
+// state.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// handleJobEvents answers GET /v1/jobs/{id}/events with a Server-Sent
+// Events stream: an initial "state" snapshot, then one event per item
+// outcome and state transition, ending after the terminal state event.
+// Streams also end when the client disconnects or the server drains.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	ch, cancelSub, ok := s.jobs.Subscribe(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	defer cancelSub()
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	// Snapshot first so a subscriber joining late still sees where the
+	// job stands; every later event supersedes it.
+	writeSSE(w, "state", jobs.Event{Type: "state", JobID: j.ID, State: j.State, Progress: j.Progress})
+	if err := rc.Flush(); err != nil {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			return
+		case ev, open := <-ch:
+			if !open {
+				// Terminal: re-read the final state (the closing event may
+				// have been dropped by a full buffer) and end the stream.
+				if final, ok := s.jobs.Get(id); ok {
+					writeSSE(w, "state", jobs.Event{Type: "state", JobID: final.ID, State: final.State, Progress: final.Progress})
+					rc.Flush()
+				}
+				return
+			}
+			writeSSE(w, ev.Type, ev)
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// writeSSE renders one Server-Sent Event with a JSON data payload.
+func writeSSE(w io.Writer, event string, v interface{}) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}

@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"buspower/internal/jobs"
+)
+
+// jobsBody is a two-request batch over cheap inline traces.
+func jobsBody() string {
+	return `{"requests":[
+		{"values":[1,2,3,4,5,6,7,8],"scheme":"raw"},
+		{"values":[1,2,3,4,5,6,7,8],"scheme":"gray"}
+	]}`
+}
+
+func doJSON(h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	var r *httptest.ResponseRecorder
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	r = httptest.NewRecorder()
+	h.ServeHTTP(r, req)
+	return r
+}
+
+func decodeJob(t *testing.T, body string) jobs.Job {
+	t.Helper()
+	var j jobs.Job
+	if err := json.Unmarshal([]byte(body), &j); err != nil {
+		t.Fatalf("decoding job from %q: %v", body, err)
+	}
+	return j
+}
+
+// pollJobTerminal polls GET /v1/jobs/{id} until the job is terminal.
+func pollJobTerminal(t *testing.T, h http.Handler, id string) jobs.Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		rec := doJSON(h, http.MethodGet, "/v1/jobs/"+id, "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET job: %d %s", rec.Code, rec.Body.String())
+		}
+		j := decodeJob(t, rec.Body.String())
+		if j.State.Terminal() {
+			return j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job never reached a terminal state")
+	return jobs.Job{}
+}
+
+func TestJobsSubmitPollAndCoalesce(t *testing.T) {
+	srv := testServer(t, Options{RequestTimeout: 10 * time.Second})
+	defer srv.Close()
+	h := srv.Handler()
+
+	rec := doJSON(h, http.MethodPost, "/v1/jobs", jobsBody())
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", rec.Code, rec.Body.String())
+	}
+	j := decodeJob(t, rec.Body.String())
+	if j.ID == "" || j.Progress.Total != 2 {
+		t.Fatalf("accepted job: %+v", j)
+	}
+	if loc := rec.Header().Get("Location"); loc != "/v1/jobs/"+j.ID {
+		t.Errorf("Location = %q", loc)
+	}
+
+	final := pollJobTerminal(t, h, j.ID)
+	if final.State != jobs.StateDone || final.Progress.Done != 2 {
+		t.Fatalf("final: state=%s progress=%+v", final.State, final.Progress)
+	}
+	for i, r := range final.Results {
+		if r.Status != jobs.ItemDone || !strings.Contains(string(r.Result), `"scheme"`) {
+			t.Errorf("item %d result: %+v", i, r)
+		}
+	}
+
+	// Identical resubmission (different whitespace, same canonical
+	// content) coalesces: 200, already done, no re-evaluation.
+	rec2 := doJSON(h, http.MethodPost, "/v1/jobs", strings.ReplaceAll(jobsBody(), "\n", " "))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("resubmit: %d %s", rec2.Code, rec2.Body.String())
+	}
+	if j2 := decodeJob(t, rec2.Body.String()); j2.ID != j.ID || j2.State != jobs.StateDone {
+		t.Fatalf("resubmit: id=%s state=%s, want same job already done", j2.ID, j2.State)
+	}
+
+	// The list view carries summaries.
+	recList := doJSON(h, http.MethodGet, "/v1/jobs", "")
+	if recList.Code != http.StatusOK || !strings.Contains(recList.Body.String(), j.ID) {
+		t.Fatalf("list: %d %s", recList.Code, recList.Body.String())
+	}
+}
+
+func TestJobsValidation(t *testing.T) {
+	srv := testServer(t, Options{})
+	defer srv.Close()
+	h := srv.Handler()
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+		wantIn string
+	}{
+		{"empty spec", http.MethodPost, "/v1/jobs", `{}`, http.StatusBadRequest, "exactly one"},
+		{"both sources", http.MethodPost, "/v1/jobs", `{"requests":[{"values":[1],"scheme":"raw"}],"suite":{"experiments":"all"}}`, http.StatusBadRequest, "exactly one"},
+		{"unknown field", http.MethodPost, "/v1/jobs", `{"turbo":true}`, http.StatusBadRequest, "unknown field"},
+		{"bad request in batch", http.MethodPost, "/v1/jobs", `{"requests":[{"values":[1],"scheme":"quantum"}]}`, http.StatusBadRequest, "request 0"},
+		{"unbuildable scheme", http.MethodPost, "/v1/jobs", `{"requests":[{"values":[1],"scheme":"spatial"}]}`, http.StatusBadRequest, "request 0"},
+		{"bad suite id", http.MethodPost, "/v1/jobs", `{"suite":{"experiments":"figXX"}}`, http.StatusBadRequest, "unknown experiment"},
+		{"trailing data", http.MethodPost, "/v1/jobs", `{"suite":{"experiments":"all"}}{"x":1}`, http.StatusBadRequest, "trailing"},
+		{"get unknown", http.MethodGet, "/v1/jobs/deadbeef", "", http.StatusNotFound, "no such job"},
+		{"cancel unknown", http.MethodDelete, "/v1/jobs/deadbeef", "", http.StatusNotFound, "no such job"},
+		{"events unknown", http.MethodGet, "/v1/jobs/deadbeef/events", "", http.StatusNotFound, "no such job"},
+		{"bad method", http.MethodPut, "/v1/jobs", "", http.StatusMethodNotAllowed, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := doJSON(h, tc.method, tc.path, tc.body)
+			if rec.Code != tc.want {
+				t.Fatalf("code = %d, want %d (%s)", rec.Code, tc.want, rec.Body.String())
+			}
+			if tc.wantIn != "" && !strings.Contains(rec.Body.String(), tc.wantIn) {
+				t.Fatalf("body %q does not contain %q", rec.Body.String(), tc.wantIn)
+			}
+		})
+	}
+}
+
+func TestJobsQueueFullSheds429(t *testing.T) {
+	srv := testServer(t, Options{JobQueueDepth: 1, RequestTimeout: time.Minute})
+	defer srv.Close()
+	rec := doJSON(srv.Handler(), http.MethodPost, "/v1/jobs", jobsBody())
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("code = %d, want 429 (%s)", rec.Code, rec.Body.String())
+	}
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 1 || ra > maxRetryAfterSeconds {
+		t.Fatalf("Retry-After = %q, want an integer in [1, %d]", rec.Header().Get("Retry-After"), maxRetryAfterSeconds)
+	}
+}
+
+// TestJobsSSEStream drives the events endpoint over a real connection:
+// the stream must deliver a snapshot and end after a terminal event.
+func TestJobsSSEStream(t *testing.T) {
+	srv := testServer(t, Options{RequestTimeout: 10 * time.Second})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(jobsBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	es, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Body.Close()
+	if ct := es.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	// Read events until the stream ends; the server closes it after the
+	// terminal state event.
+	sc := bufio.NewScanner(es.Body)
+	var sawSnapshot, sawTerminal bool
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && data != "":
+			var ev jobs.Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("bad event payload %q: %v", data, err)
+			}
+			if ev.JobID != j.ID {
+				t.Fatalf("event for job %q, want %q", ev.JobID, j.ID)
+			}
+			sawSnapshot = true
+			if ev.Type == "state" && ev.State.Terminal() {
+				sawTerminal = true
+			}
+			data = ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	if !sawSnapshot || !sawTerminal {
+		t.Fatalf("snapshot=%v terminal=%v, want both", sawSnapshot, sawTerminal)
+	}
+	// After the stream ends the job must be done with both results.
+	final := pollJobTerminal(t, srv.Handler(), j.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("state after stream = %s", final.State)
+	}
+}
+
+// TestJobsSurviveRestart is the durability acceptance path in-process: a
+// completed job's results come back from the journal in a fresh server,
+// and resubmission is answered without re-evaluation.
+func TestJobsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1 := testServer(t, Options{JobsDir: dir, RequestTimeout: 10 * time.Second})
+	rec := doJSON(srv1.Handler(), http.MethodPost, "/v1/jobs", jobsBody())
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", rec.Code, rec.Body.String())
+	}
+	j := decodeJob(t, rec.Body.String())
+	pollJobTerminal(t, srv1.Handler(), j.ID)
+	if err := srv1.Close(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	srv2 := testServer(t, Options{JobsDir: dir})
+	defer srv2.Close()
+	rec2 := doJSON(srv2.Handler(), http.MethodGet, "/v1/jobs/"+j.ID, "")
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("GET after restart: %d %s", rec2.Code, rec2.Body.String())
+	}
+	got := decodeJob(t, rec2.Body.String())
+	if got.State != jobs.StateDone || got.Progress.Done != 2 {
+		t.Fatalf("restored job: state=%s progress=%+v", got.State, got.Progress)
+	}
+	for i, r := range got.Results {
+		if r.Status != jobs.ItemDone || len(r.Result) == 0 {
+			t.Fatalf("restored item %d: %+v", i, r)
+		}
+	}
+	// Resubmission coalesces onto the journaled result: 200, not 202.
+	rec3 := doJSON(srv2.Handler(), http.MethodPost, "/v1/jobs", jobsBody())
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("resubmit after restart: %d %s", rec3.Code, rec3.Body.String())
+	}
+}
+
+func TestJobsCancelViaDelete(t *testing.T) {
+	srv := testServer(t, Options{})
+	defer srv.Close()
+	h := srv.Handler()
+	// A whole quick suite takes long enough that an immediate DELETE
+	// lands while work is still queued or running.
+	rec := doJSON(h, http.MethodPost, "/v1/jobs", `{"suite":{"experiments":"all","quick":true}}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit suite: %d %s", rec.Code, rec.Body.String())
+	}
+	j := decodeJob(t, rec.Body.String())
+	recDel := doJSON(h, http.MethodDelete, "/v1/jobs/"+j.ID, "")
+	if recDel.Code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", recDel.Code, recDel.Body.String())
+	}
+	cj := decodeJob(t, recDel.Body.String())
+	if !cj.State.Terminal() {
+		t.Fatalf("state after DELETE = %s, want terminal", cj.State)
+	}
+	final := pollJobTerminal(t, h, j.ID)
+	if final.State != jobs.StateCancelled {
+		t.Fatalf("final state = %s, want cancelled", final.State)
+	}
+}
+
+func TestMetricsIncludeJobGauges(t *testing.T) {
+	srv := testServer(t, Options{RequestTimeout: 10 * time.Second})
+	defer srv.Close()
+	h := srv.Handler()
+	rec := doJSON(h, http.MethodPost, "/v1/jobs", jobsBody())
+	j := decodeJob(t, rec.Body.String())
+	pollJobTerminal(t, h, j.ID)
+
+	mrec := doJSON(h, http.MethodGet, "/metrics", "")
+	body := mrec.Body.String()
+	for _, want := range []string{
+		fmt.Sprintf("buspower_jobs{state=%q} 1", "done"),
+		"buspower_jobs_queue_depth",
+		"buspower_jobs_workers",
+		"buspower_jobs_items_completed_total 2",
+		"buspower_jobs_journal_bytes",
+		"buspower_jobs_journal_compactions_total",
+		"buspower_jobs_journal_recovered_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

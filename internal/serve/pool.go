@@ -51,6 +51,12 @@ func newPool(workers, queue int) *pool {
 // queue is already full; or ctx.Err() if the caller's context ends first
 // (a request whose deadline fires while queued never starts evaluating).
 func (p *pool) acquire(ctx context.Context) (release func(), err error) {
+	// A request whose context is already over — deadline elapsed before
+	// admission, client gone — must not claim a slot and start evaluating;
+	// the fast-path select below would otherwise admit it regardless.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Fast path: a slot is free right now.
 	select {
 	case p.slots <- struct{}{}:

@@ -81,6 +81,32 @@ func TestPoolQueueWaitsAndRespectsContext(t *testing.T) {
 	release2()
 }
 
+// TestPoolRejectsPreCancelledContext: a request whose deadline already
+// expired (or whose client already went away) must not claim a worker
+// slot through the fast path and start evaluating.
+func TestPoolRejectsPreCancelledContext(t *testing.T) {
+	p := newPool(1, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled acquire: %v, want context.Canceled", err)
+	}
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := p.acquire(expired); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired acquire: %v, want context.DeadlineExceeded", err)
+	}
+	if inflight, waiting, _ := p.stats(); inflight != 0 || waiting != 0 {
+		t.Fatalf("dead requests consumed capacity: inflight %d waiting %d", inflight, waiting)
+	}
+	// The (only) slot is still free for a live request.
+	r, err := p.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("live acquire after dead ones: %v", err)
+	}
+	r()
+}
+
 func TestPoolReleaseIdempotent(t *testing.T) {
 	p := newPool(1, 0)
 	r, err := p.acquire(context.Background())
