@@ -9,7 +9,7 @@
 //	buspower -exp all -o results/ -jobs 8 -v
 //	buspower -exp all -trace-cache /tmp/traces
 //	buspower -exp all -verify full
-//	buspower bench -quick -out results/BENCH_PR4.json
+//	buspower bench -quick -out results/BENCH_PR7.json
 //	buspower serve -addr :8080 -workers 8
 //
 // Experiments run concurrently on a bounded worker pool (-jobs, default
@@ -136,17 +136,19 @@ func profileFlags(fs *flag.FlagSet) func() (stop func() error, err error) {
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		quick    = fs.Bool("quick", false, "short per-kernel benchmark budget (CI smoke)")
-		skipE2E  = fs.Bool("skip-e2e", false, "skip the end-to-end -exp all -quick timing")
-		out      = fs.String("out", "results/BENCH_PR4.json", "write the JSON report to this file ('-' for stdout)")
-		baseline = fs.String("baseline", "", "previous report to embed baseline numbers and speedups from")
-		quiet    = fs.Bool("q", false, "suppress per-kernel progress on stderr")
+		quick     = fs.Bool("quick", false, "short per-kernel benchmark budget (CI smoke); skips the full-scale e2e phase")
+		skipE2E   = fs.Bool("skip-e2e", false, "skip the end-to-end -exp all -quick timing")
+		out       = fs.String("out", "results/BENCH_PR7.json", "write the JSON report to this file ('-' for stdout)")
+		baseline  = fs.String("baseline", "", "previous report to embed baseline numbers and speedups from")
+		benchtime = fs.Duration("benchtime", 0, "per-kernel time budget (0 = 500ms, or 30ms with -quick)")
+		minRatio  = fs.Float64("min-throughput-ratio", 0, "fail unless suite throughput ÷ baseline throughput ≥ this (requires -baseline; 0 disables)")
+		quiet     = fs.Bool("q", false, "suppress per-kernel progress on stderr")
 	)
 	startProfiles := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := bench.Options{Quick: *quick, SkipE2E: *skipE2E}
+	opts := bench.Options{Quick: *quick, SkipE2E: *skipE2E, BenchTime: *benchtime}
 	if *baseline != "" {
 		base, err := bench.Load(*baseline)
 		if err != nil {
@@ -167,6 +169,18 @@ func runBench(args []string) error {
 	}
 	if err := stopProfiles(); err != nil {
 		return err
+	}
+	if *minRatio > 0 {
+		if rep.E2E == nil || rep.E2E.ThroughputRatio == 0 {
+			return fmt.Errorf("bench: -min-throughput-ratio needs a -baseline report with suite throughput and an e2e phase")
+		}
+		if rep.E2E.ThroughputRatio < *minRatio {
+			return fmt.Errorf("bench: suite throughput regressed: %.1f Mcycles/s is %.2fx baseline (%.1f), below the %.2f floor",
+				rep.E2E.WarmMCyclesPerSec, rep.E2E.ThroughputRatio, rep.E2E.BaselineWarmMCyclesPerSec, *minRatio)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "throughput gate: %.2fx baseline (floor %.2f) ok\n", rep.E2E.ThroughputRatio, *minRatio)
+		}
 	}
 	if *out == "-" {
 		data, err := rep.MarshalIndent()

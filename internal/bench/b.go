@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// B is the harness's benchmark context: the subset of testing.B the
+// kernels use (N, ResetTimer, SetBytes, ReportAllocs, Fatal), driven by
+// an explicit per-kernel time budget instead of the test.benchtime
+// global flag. Allocation statistics are always collected, so
+// ReportAllocs is a no-op kept for testing.B symmetry.
+type B struct {
+	// N is the iteration count of the current run; kernels loop
+	// `for i := 0; i < b.N; i++`.
+	N int
+
+	timerOn     bool
+	start       time.Time
+	elapsed     time.Duration
+	startAllocs uint64
+	startBytes  uint64
+	netAllocs   uint64
+	netBytes    uint64
+	bytesPerOp  int64
+}
+
+// benchFailure carries a kernel's Fatal out of the run; the driver
+// recovers it and surfaces the message as an error.
+type benchFailure struct{ msg string }
+
+func readMem() (allocs, bytes uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs, ms.TotalAlloc
+}
+
+// StartTimer resumes timing and allocation accounting.
+func (b *B) StartTimer() {
+	if b.timerOn {
+		return
+	}
+	b.startAllocs, b.startBytes = readMem()
+	b.start = time.Now()
+	b.timerOn = true
+}
+
+// StopTimer pauses timing and allocation accounting.
+func (b *B) StopTimer() {
+	if !b.timerOn {
+		return
+	}
+	b.elapsed += time.Since(b.start)
+	allocs, bytes := readMem()
+	b.netAllocs += allocs - b.startAllocs
+	b.netBytes += bytes - b.startBytes
+	b.timerOn = false
+}
+
+// ResetTimer discards time and allocations accumulated so far — kernels
+// call it after setup, exactly as with testing.B.
+func (b *B) ResetTimer() {
+	if b.timerOn {
+		b.startAllocs, b.startBytes = readMem()
+		b.start = time.Now()
+	}
+	b.elapsed = 0
+	b.netAllocs = 0
+	b.netBytes = 0
+}
+
+// ReportAllocs is a no-op: the driver always records allocations.
+func (b *B) ReportAllocs() {}
+
+// SetBytes records the bytes processed per iteration (informational).
+func (b *B) SetBytes(n int64) { b.bytesPerOp = n }
+
+// Fatal aborts the kernel; the driver reports the message as an error.
+func (b *B) Fatal(args ...interface{}) {
+	panic(benchFailure{msg: fmt.Sprint(args...)})
+}
+
+// Fatalf is Fatal with formatting.
+func (b *B) Fatalf(format string, args ...interface{}) {
+	panic(benchFailure{msg: fmt.Sprintf(format, args...)})
+}
+
+// nsPerOp returns the mean time per iteration of one finished run.
+func (b *B) nsPerOp() float64 {
+	if b.N <= 0 {
+		return 0
+	}
+	return float64(b.elapsed.Nanoseconds()) / float64(b.N)
+}
+
+// runN executes one benchmark run at a fixed iteration count.
+func runN(fn func(*B), n int) (b *B, err error) {
+	b = &B{N: n}
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(benchFailure); ok {
+				err = fmt.Errorf("bench: %s", f.msg)
+				return
+			}
+			panic(r)
+		}
+	}()
+	runtime.GC()
+	b.ResetTimer()
+	b.StartTimer()
+	fn(b)
+	b.StopTimer()
+	return b, nil
+}
+
+// maxIterations bounds the driver against pathologically cheap kernels.
+const maxIterations = 1_000_000_000
+
+// runBenchmark grows the iteration count, testing-package style, until
+// one run meets the time budget, and returns that run.
+func runBenchmark(fn func(*B), budget time.Duration) (*B, error) {
+	n := 1
+	for {
+		b, err := runN(fn, n)
+		if err != nil {
+			return nil, err
+		}
+		if b.elapsed >= budget || n >= maxIterations {
+			return b, nil
+		}
+		// Predict the budget-filling count from the observed per-op
+		// cost, overshoot by 20%, and never grow more than 100x per
+		// round (the first runs see warm-up effects).
+		next := n * 100
+		if perOp := b.elapsed.Nanoseconds() / int64(n); perOp > 0 {
+			predicted := budget.Nanoseconds() / perOp
+			predicted += predicted / 5
+			if predicted < int64(next) {
+				next = int(predicted)
+			}
+		}
+		if next <= n {
+			next = n + 1
+		}
+		if next > maxIterations {
+			next = maxIterations
+		}
+		n = next
+	}
+}

@@ -1,12 +1,14 @@
 // Package bench is the reproducible performance harness behind the
 // `buspower bench` subcommand. It micro-benchmarks the hot kernels of the
-// simulate→encode→measure pipeline with testing.Benchmark (taking the
-// fastest of three repetitions per kernel), times an end-to-end
-// experiment regeneration (cold and warm trace cache), and
-// writes a machine-readable JSON report (results/BENCH_*.json). Passing a
-// previous report as the baseline embeds its numbers and the computed
-// speedups in the new report, so kernel regressions across PRs show up as
-// a diff in one committed file.
+// simulate→encode→measure pipeline with its own explicit-budget driver
+// (taking the fastest of three repetitions per kernel), times end-to-end
+// experiment regenerations (quick-scale cache phases plus a full-scale
+// cold/warm pass), derives the suite-level evaluation throughput in
+// trace-cycle × grid-cell units, and writes a machine-readable JSON
+// report (results/BENCH_*.json). Passing a previous report as the
+// baseline embeds its numbers and the computed speedups in the new
+// report, so kernel and throughput regressions across PRs show up as a
+// diff in one committed file.
 package bench
 
 import (
@@ -14,7 +16,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"testing"
 	"time"
 )
 
@@ -32,19 +33,33 @@ type KernelResult struct {
 	Speedup         float64 `json:"speedup,omitempty"`
 }
 
-// E2EResult times one full `-exp all -quick` regeneration through the
-// parallel engine, with a cold and a warm workload trace cache, and —
-// when the disk trace cache is exercised — with a cold and a warm
+// E2EResult times full `-exp all` regenerations through the parallel
+// engine. The quick-scale phases isolate the caches: a cold and a warm
+// workload trace cache, the evaluation-result memo cleared and kept, and
+// — when the disk trace cache is exercised — a cold and a warm
 // persistent cache directory (memory cache emptied both times, so the
 // disk-warm number is what a fresh process with a populated cache dir
-// pays).
+// pays). The full-scale phase (skipped in quick harness runs) times the
+// paper-scale regeneration cold (no caches at all — CPU simulation
+// included) and warm (traces in memory, every evaluation recomputed).
+//
+// The MCyclesPerSec figures are the suite-level evaluation throughput:
+// millions of (trace cycle × grid cell) units delivered per wall-clock
+// second during the corresponding warm pass, from the
+// coding.EvaluatedCycles counter. Warm passes clear the result memo, so
+// the figure measures real evaluation work, not cache hits; it is the
+// one number that improves when the grid engine fans more cells out of a
+// single trace pass.
 type E2EResult struct {
-	IDs    string `json:"ids"`
-	Config string `json:"config"`
-	Jobs   int    `json:"jobs"`
-	Tables int    `json:"tables"`
+	IDs    string  `json:"ids"`
+	Config string  `json:"config"`
+	Jobs   int     `json:"jobs"`
+	Tables int     `json:"tables"`
 	ColdMS float64 `json:"cold_ms"`
 	WarmMS float64 `json:"warm_ms"`
+
+	// WarmMCyclesPerSec is the suite throughput of the quick warm pass.
+	WarmMCyclesPerSec float64 `json:"warm_mcycles_per_sec,omitempty"`
 
 	// MemoColdMS repeats the warm run with the evaluation-result memo
 	// cleared (isolating the recompute the memo avoids); MemoWarmMS runs
@@ -55,14 +70,27 @@ type E2EResult struct {
 	DiskColdMS float64 `json:"disk_cold_ms,omitempty"`
 	DiskWarmMS float64 `json:"disk_warm_ms,omitempty"`
 
-	BaselineColdMS     float64 `json:"baseline_cold_ms,omitempty"`
-	BaselineWarmMS     float64 `json:"baseline_warm_ms,omitempty"`
-	BaselineMemoWarmMS float64 `json:"baseline_memo_warm_ms,omitempty"`
-	BaselineDiskWarmMS float64 `json:"baseline_disk_warm_ms,omitempty"`
-	ColdSpeedup        float64 `json:"cold_speedup,omitempty"`
-	WarmSpeedup        float64 `json:"warm_speedup,omitempty"`
-	MemoWarmSpeedup    float64 `json:"memo_warm_speedup,omitempty"`
-	DiskWarmSpeedup    float64 `json:"disk_warm_speedup,omitempty"`
+	// Full-scale phase (paper axes, full trace lengths).
+	FullColdMS            float64 `json:"full_cold_ms,omitempty"`
+	FullWarmMS            float64 `json:"full_warm_ms,omitempty"`
+	FullWarmMCyclesPerSec float64 `json:"full_warm_mcycles_per_sec,omitempty"`
+
+	BaselineColdMS            float64 `json:"baseline_cold_ms,omitempty"`
+	BaselineWarmMS            float64 `json:"baseline_warm_ms,omitempty"`
+	BaselineMemoWarmMS        float64 `json:"baseline_memo_warm_ms,omitempty"`
+	BaselineDiskWarmMS        float64 `json:"baseline_disk_warm_ms,omitempty"`
+	BaselineFullColdMS        float64 `json:"baseline_full_cold_ms,omitempty"`
+	BaselineFullWarmMS        float64 `json:"baseline_full_warm_ms,omitempty"`
+	BaselineWarmMCyclesPerSec float64 `json:"baseline_warm_mcycles_per_sec,omitempty"`
+	ColdSpeedup               float64 `json:"cold_speedup,omitempty"`
+	WarmSpeedup               float64 `json:"warm_speedup,omitempty"`
+	MemoWarmSpeedup           float64 `json:"memo_warm_speedup,omitempty"`
+	DiskWarmSpeedup           float64 `json:"disk_warm_speedup,omitempty"`
+	FullColdSpeedup           float64 `json:"full_cold_speedup,omitempty"`
+	FullWarmSpeedup           float64 `json:"full_warm_speedup,omitempty"`
+	// ThroughputRatio compares quick warm suite throughput against the
+	// baseline's: > 1 means more evaluation work per second than before.
+	ThroughputRatio float64 `json:"throughput_ratio,omitempty"`
 }
 
 // Report is the full harness output.
@@ -88,21 +116,32 @@ type Report struct {
 // keeps the fastest (see Run).
 const kernelReps = 3
 
-// nsPerOp returns the mean time per operation of one benchmark run.
-func nsPerOp(res testing.BenchmarkResult) float64 {
-	return float64(res.T.Nanoseconds()) / float64(res.N)
-}
-
 // Options tunes a harness run.
 type Options struct {
-	// Quick trims benchmark time per kernel; pair with CI smoke jobs.
+	// Quick trims the per-kernel time budget and skips the full-scale
+	// E2E phase; pair with CI smoke jobs.
 	Quick bool
-	// SkipE2E skips the end-to-end experiment timing.
+	// BenchTime overrides the per-kernel time budget (0 = 500ms, or
+	// 30ms when Quick). It replaces the test.benchtime global flag the
+	// harness once set through the flag registry.
+	BenchTime time.Duration
+	// SkipE2E skips the end-to-end experiment timings.
 	SkipE2E bool
 	// Baseline, when non-nil, is a previous Report to compare against.
 	Baseline *Report
 	// Progress, when non-nil, receives one line per finished measurement.
 	Progress func(string)
+}
+
+// benchTime resolves the per-kernel budget.
+func (o Options) benchTime() time.Duration {
+	if o.BenchTime > 0 {
+		return o.BenchTime
+	}
+	if o.Quick {
+		return 30 * time.Millisecond
+	}
+	return 500 * time.Millisecond
 }
 
 // Run executes every kernel benchmark plus the end-to-end timing and
@@ -118,28 +157,33 @@ func Run(opts Options) (*Report, error) {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      opts.Quick,
 	}
-	configureBenchtime(opts.Quick)
+	budget := opts.benchTime()
 	for _, k := range Kernels() {
-		// Flush the previous kernel's garbage first: the container and
-		// trace kernels leave multi-MB live sets whose background GC
-		// otherwise bleeds into the allocation-free kernels that follow.
-		runtime.GC()
 		// Each kernel runs kernelReps times and reports the fastest — the
 		// classical minimum estimator: a kernel's true cost is its floor,
-		// and anything above it is scheduler or frequency noise.
-		res := testing.Benchmark(k.Fn)
-		best := nsPerOp(res)
+		// and anything above it is scheduler or frequency noise. runN
+		// flushes the previous run's garbage before starting the clock,
+		// so the container and trace kernels' multi-MB live sets don't
+		// bleed GC time into the allocation-free kernels that follow.
+		best, err := runBenchmark(k.Fn, budget)
+		if err != nil {
+			return nil, err
+		}
 		for rep := 1; rep < kernelReps; rep++ {
-			if r := testing.Benchmark(k.Fn); nsPerOp(r) < best {
-				res, best = r, nsPerOp(r)
+			b, err := runBenchmark(k.Fn, budget)
+			if err != nil {
+				return nil, err
+			}
+			if b.nsPerOp() < best.nsPerOp() {
+				best = b
 			}
 		}
 		kr := KernelResult{
 			Name:        k.Name,
-			Iterations:  res.N,
-			NsPerOp:     best,
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
+			Iterations:  best.N,
+			NsPerOp:     best.nsPerOp(),
+			BytesPerOp:  int64(best.netBytes) / int64(best.N),
+			AllocsPerOp: int64(best.netAllocs) / int64(best.N),
 		}
 		r.Kernels = append(r.Kernels, kr)
 		if opts.Progress != nil {
@@ -147,18 +191,24 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 	if !opts.SkipE2E {
-		e2e, err := runE2E()
+		e2e, err := runE2E(!opts.Quick)
 		if err != nil {
 			return nil, err
 		}
 		r.E2E = e2e
 		if opts.Progress != nil {
 			opts.Progress(fmt.Sprintf("%-32s %12.1f ms cold %10.1f ms warm", "E2E/"+e2e.IDs+"-"+e2e.Config, e2e.ColdMS, e2e.WarmMS))
+			if e2e.WarmMCyclesPerSec > 0 {
+				opts.Progress(fmt.Sprintf("%-32s %12.1f Mcycles/s warm", "E2E/suite-throughput", e2e.WarmMCyclesPerSec))
+			}
 			if e2e.MemoWarmMS > 0 {
 				opts.Progress(fmt.Sprintf("%-32s %12.1f ms cold %10.1f ms warm", "E2E/eval-memo", e2e.MemoColdMS, e2e.MemoWarmMS))
 			}
 			if e2e.DiskWarmMS > 0 {
 				opts.Progress(fmt.Sprintf("%-32s %12.1f ms cold %10.1f ms warm", "E2E/disk-cache", e2e.DiskColdMS, e2e.DiskWarmMS))
+			}
+			if e2e.FullColdMS > 0 {
+				opts.Progress(fmt.Sprintf("%-32s %12.1f ms cold %10.1f ms warm (%.1f Mcycles/s)", "E2E/full-scale", e2e.FullColdMS, e2e.FullWarmMS, e2e.FullWarmMCyclesPerSec))
 			}
 		}
 	}
@@ -200,6 +250,18 @@ func (r *Report) compare(base *Report) {
 			r.E2E.BaselineDiskWarmMS = base.E2E.DiskWarmMS
 			r.E2E.DiskWarmSpeedup = base.E2E.DiskWarmMS / r.E2E.DiskWarmMS
 		}
+		if base.E2E.FullColdMS > 0 && r.E2E.FullColdMS > 0 {
+			r.E2E.BaselineFullColdMS = base.E2E.FullColdMS
+			r.E2E.FullColdSpeedup = base.E2E.FullColdMS / r.E2E.FullColdMS
+		}
+		if base.E2E.FullWarmMS > 0 && r.E2E.FullWarmMS > 0 {
+			r.E2E.BaselineFullWarmMS = base.E2E.FullWarmMS
+			r.E2E.FullWarmSpeedup = base.E2E.FullWarmMS / r.E2E.FullWarmMS
+		}
+		if base.E2E.WarmMCyclesPerSec > 0 && r.E2E.WarmMCyclesPerSec > 0 {
+			r.E2E.BaselineWarmMCyclesPerSec = base.E2E.WarmMCyclesPerSec
+			r.E2E.ThroughputRatio = r.E2E.WarmMCyclesPerSec / base.E2E.WarmMCyclesPerSec
+		}
 	}
 }
 
@@ -228,18 +290,4 @@ func Load(path string) (*Report, error) {
 		return nil, fmt.Errorf("bench: bad report %s: %w", path, err)
 	}
 	return &r, nil
-}
-
-// configureBenchtime shortens testing.Benchmark's per-kernel budget in
-// quick mode. testing.Init is idempotent; Set failures (which cannot
-// happen for this flag) would only restore the 1s default.
-func configureBenchtime(quick bool) {
-	testing.Init()
-	d := "500ms"
-	if quick {
-		d = "30ms"
-	}
-	if err := flagSet("test.benchtime", d); err != nil {
-		_ = err // keep the default budget
-	}
 }

@@ -4,10 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"flag"
 	"io"
 	"os"
-	"testing"
 	"time"
 
 	"buspower/internal/bus"
@@ -19,17 +17,17 @@ import (
 	"buspower/internal/workload"
 )
 
-func flagSet(name, value string) error { return flag.Set(name, value) }
-
 var (
 	errDiskCacheCold = errors.New("bench: disk-warm pass had zero disk cache hits")
 	errEvalMemoCold  = errors.New("bench: memo-warm pass had zero eval memo hits")
 )
 
-// Kernel is one named micro-benchmark of a pipeline hot path.
+// Kernel is one named micro-benchmark of a pipeline hot path. Fn takes
+// the harness's own B (see b.go), so the per-kernel budget is an
+// explicit runBenchmark parameter rather than a global testing flag.
 type Kernel struct {
 	Name string
-	Fn   func(b *testing.B)
+	Fn   func(b *B)
 }
 
 // Kernels returns the micro-benchmarks in report order. Names are stable
@@ -54,6 +52,9 @@ func Kernels() []Kernel {
 				DividePeriod: 4096, Lambda: 1,
 			})
 		})},
+		{"Bus.SlicedMeter/32x8k", benchSlicedMeter},
+		{"Grid.Stateless/raw-inv-gray", benchGridStateless},
+		{"Grid.Stride/k1-8", benchGridStride},
 		{"CPU.Simulate/li-50k", benchSimulate},
 		{"Trace.Write/120k", benchTraceWrite},
 		{"Trace.Read/120k", benchTraceRead},
@@ -108,7 +109,7 @@ func dictTrace(n, hotValues int) []uint64 {
 	return out
 }
 
-func benchMeterRecordDense(b *testing.B) {
+func benchMeterRecordDense(b *B) {
 	trace := denseTrace(4096, 32)
 	m := bus.NewMeter(32)
 	b.ReportAllocs()
@@ -118,7 +119,7 @@ func benchMeterRecordDense(b *testing.B) {
 	}
 }
 
-func benchMeterRecordSparse(b *testing.B) {
+func benchMeterRecordSparse(b *B) {
 	trace := sparseTrace(4096)
 	m := bus.NewMeter(64)
 	b.ReportAllocs()
@@ -128,7 +129,7 @@ func benchMeterRecordSparse(b *testing.B) {
 	}
 }
 
-func benchMeterMeasureTrace(b *testing.B) {
+func benchMeterMeasureTrace(b *B) {
 	trace := denseTrace(4096, 32)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -141,8 +142,8 @@ func benchMeterMeasureTrace(b *testing.B) {
 	b.SetBytes(int64(len(trace)) * 8)
 }
 
-func benchWindowEncode(entries int) func(b *testing.B) {
-	return func(b *testing.B) {
+func benchWindowEncode(entries int) func(b *B) {
+	return func(b *B) {
 		trace := dictTrace(8192, entries*3/4)
 		win, err := coding.NewWindow(32, entries, 1)
 		if err != nil {
@@ -161,8 +162,8 @@ func benchWindowEncode(entries int) func(b *testing.B) {
 	}
 }
 
-func benchContextEncode(table int) func(b *testing.B) {
-	return func(b *testing.B) {
+func benchContextEncode(table int) func(b *B) {
+	return func(b *B) {
 		trace := dictTrace(8192, table*3/4)
 		ctx, err := coding.NewContext(coding.ContextConfig{
 			Width: 32, TableSize: table, ShiftEntries: 8,
@@ -196,8 +197,8 @@ func benchContextEncode(table int) func(b *testing.B) {
 // transcoder at its operating point — hit-dominated with a realistic miss
 // tail — rather than degenerating into a pure raw-send (miss path)
 // benchmark.
-func benchEvaluateE2E(hot int, build func() (coding.Transcoder, error)) func(b *testing.B) {
-	return func(b *testing.B) {
+func benchEvaluateE2E(hot int, build func() (coding.Transcoder, error)) func(b *B) {
+	return func(b *B) {
 		trace := dictTrace(8192, hot)
 		tc, err := build()
 		if err != nil {
@@ -224,7 +225,7 @@ func benchEvaluateE2E(hot int, build func() (coding.Transcoder, error)) func(b *
 // benchEvaluateSweep is the experiments' inner loop in miniature: several
 // window sizes evaluated over one shared trace, the way the figure sweeps
 // multiply schemes × parameters over each workload.
-func benchEvaluateSweep(b *testing.B) {
+func benchEvaluateSweep(b *B) {
 	trace := dictTrace(8192, 24)
 	sizes := []int{4, 8, 16, 32}
 	b.ReportAllocs()
@@ -259,7 +260,77 @@ func evaluateWindowSweep(trace []uint64, sizes []int) ([]float64, error) {
 	return out, nil
 }
 
-func benchSimulate(b *testing.B) {
+// benchSlicedMeter measures the transposed-trace metering primitive the
+// grid engine's stateless fast paths are built on: one transpose of an
+// 8k-value trace into bit planes plus a word-parallel Σλ/Σψ count.
+func benchSlicedMeter(b *B) {
+	vals := dictTrace(8192, 48)
+	b.SetBytes(int64(len(vals)) * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := bus.NewSlicedTrace(32, vals)
+		if st.MeterLite().Cycles() == 0 {
+			b.Fatal("empty sliced measurement")
+		}
+	}
+}
+
+// benchGridStateless fans the stateless coders (raw at two Λ, inversion,
+// gray) out of one EvaluateGrid pass — the single-pass scheme-grid
+// evaluation the experiment sweeps run on.
+func benchGridStateless(b *B) {
+	vals := dictTrace(8192, 48)
+	raw := coding.MeasureRawValues(32, vals)
+	inv, err := coding.NewBusInvert(32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gray, err := coding.NewGray(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := []coding.GridCell{
+		{T: coding.NewRaw(32), Lambda: 1},
+		{T: coding.NewRaw(32), Lambda: 2},
+		{T: inv, Lambda: 1},
+		{T: gray, Lambda: 1},
+	}
+	b.SetBytes(int64(len(vals)) * 8 * int64(len(cells)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coding.EvaluateGrid(cells, vals, raw, coding.VerifySampled(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchGridStride evaluates a whole stride bank-depth sweep (k = 1..8)
+// in one grid pass: the shared prefix-nesting tape is built once and
+// replayed per depth, the way the figure-8 family runs.
+func benchGridStride(b *B) {
+	vals := dictTrace(8192, 24)
+	raw := coding.MeasureRawValues(32, vals)
+	var cells []coding.GridCell
+	for k := 1; k <= 8; k++ {
+		st, err := coding.NewStride(32, k, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = append(cells, coding.GridCell{T: st, Lambda: 1})
+	}
+	b.SetBytes(int64(len(vals)) * 8 * int64(len(cells)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coding.EvaluateGrid(cells, vals, raw, coding.VerifySampled(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSimulate(b *B) {
 	w, err := workload.ByName("li")
 	if err != nil {
 		b.Fatal(err)
@@ -295,7 +366,7 @@ func benchTraceValues(n int) []uint64 {
 	return out
 }
 
-func benchTraceWrite(b *testing.B) {
+func benchTraceWrite(b *B) {
 	tr := &trace.Trace{Name: "bench/reg", Width: 32, Values: benchTraceValues(benchTraceSize)}
 	b.SetBytes(int64(len(tr.Values)) * 8)
 	b.ReportAllocs()
@@ -307,7 +378,7 @@ func benchTraceWrite(b *testing.B) {
 	}
 }
 
-func benchTraceRead(b *testing.B) {
+func benchTraceRead(b *B) {
 	tr := &trace.Trace{Name: "bench/reg", Width: 32, Values: benchTraceValues(benchTraceSize)}
 	var buf bytes.Buffer
 	if err := tr.Write(&buf); err != nil {
@@ -338,7 +409,7 @@ func benchContainer() *trace.Container {
 	}
 }
 
-func benchContainerWrite(b *testing.B) {
+func benchContainerWrite(b *B) {
 	c := benchContainer()
 	b.SetBytes(3 * benchTraceSize * 8)
 	b.ReportAllocs()
@@ -350,7 +421,7 @@ func benchContainerWrite(b *testing.B) {
 	}
 }
 
-func benchContainerRead(b *testing.B) {
+func benchContainerRead(b *B) {
 	c := benchContainer()
 	var buf bytes.Buffer
 	if err := c.Write(&buf); err != nil {
@@ -367,6 +438,16 @@ func benchContainerRead(b *testing.B) {
 	}
 }
 
+// mcyclesPerSec converts an EvaluatedCycles delta and a wall-clock
+// duration into the suite throughput figure (millions of trace-cycle ×
+// grid-cell units per second).
+func mcyclesPerSec(cycles uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(cycles) / 1e6 / d.Seconds()
+}
+
 // runE2E times one full quick-scale regeneration of every artifact through
 // the parallel engine in six states: cold (no caches — CPU simulation
 // included), warm (in-memory traces, result memo cleared — the recompute
@@ -381,7 +462,7 @@ func benchContainerRead(b *testing.B) {
 //
 // E2E phases run under sampled verification like real experiment runs
 // (the CLI's -verify default); the tables are bit-identical either way.
-func runE2E() (*E2EResult, error) {
+func runE2E(includeFull bool) (*E2EResult, error) {
 	cfg := experiments.QuickConfig()
 	cfg.Verify = coding.VerifySampled(0)
 	ids, err := experiments.ResolveIDs("all")
@@ -400,10 +481,12 @@ func runE2E() (*E2EResult, error) {
 		return nil, err
 	}
 	experiments.ClearEvalMemo()
+	warmCycles := coding.EvaluatedCycles()
 	_, warm, err := runAll()
 	if err != nil {
 		return nil, err
 	}
+	warmCycles = coding.EvaluatedCycles() - warmCycles
 	experiments.ClearEvalMemo()
 	_, memoCold, err := runAll()
 	if err != nil {
@@ -448,16 +531,57 @@ func runE2E() (*E2EResult, error) {
 		// means the cache is broken and the timing is a lie.
 		return nil, errDiskCacheCold
 	}
-	return &E2EResult{
-		IDs:        "all",
-		Config:     "quick",
-		Jobs:       0,
-		Tables:     tables,
-		ColdMS:     float64(cold.Microseconds()) / 1000,
-		WarmMS:     float64(warm.Microseconds()) / 1000,
-		MemoColdMS: float64(memoCold.Microseconds()) / 1000,
-		MemoWarmMS: float64(memoWarm.Microseconds()) / 1000,
-		DiskColdMS: float64(diskCold.Microseconds()) / 1000,
-		DiskWarmMS: float64(diskWarm.Microseconds()) / 1000,
-	}, nil
+	res := &E2EResult{
+		IDs:               "all",
+		Config:            "quick",
+		Jobs:              0,
+		Tables:            tables,
+		ColdMS:            float64(cold.Microseconds()) / 1000,
+		WarmMS:            float64(warm.Microseconds()) / 1000,
+		WarmMCyclesPerSec: mcyclesPerSec(warmCycles, warm),
+		MemoColdMS:        float64(memoCold.Microseconds()) / 1000,
+		MemoWarmMS:        float64(memoWarm.Microseconds()) / 1000,
+		DiskColdMS:        float64(diskCold.Microseconds()) / 1000,
+		DiskWarmMS:        float64(diskWarm.Microseconds()) / 1000,
+	}
+	if !includeFull {
+		return res, nil
+	}
+
+	// Full-scale phase: the paper-axes regeneration, timed cold (clean
+	// memory caches against the still-throwaway disk dir, so the CPU
+	// simulation of every workload is included) and warm (traces in
+	// memory, every evaluation recomputed).
+	fullCfg := experiments.DefaultConfig()
+	fullCfg.Verify = coding.VerifySampled(0)
+	runFull := func() (time.Duration, error) {
+		start := time.Now()
+		_, err := experiments.RunAll(context.Background(), fullCfg, ids, experiments.Options{})
+		return time.Since(start), err
+	}
+	fullDir, err := os.MkdirTemp("", "buspower-bench-full-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(fullDir)
+	if _, err := workload.SetTraceCacheDir(fullDir); err != nil {
+		return nil, err
+	}
+	workload.ClearTraceCache()
+	experiments.ClearEvalMemo()
+	fullCold, err := runFull()
+	if err != nil {
+		return nil, err
+	}
+	experiments.ClearEvalMemo()
+	fullCycles := coding.EvaluatedCycles()
+	fullWarm, err := runFull()
+	if err != nil {
+		return nil, err
+	}
+	fullCycles = coding.EvaluatedCycles() - fullCycles
+	res.FullColdMS = float64(fullCold.Microseconds()) / 1000
+	res.FullWarmMS = float64(fullWarm.Microseconds()) / 1000
+	res.FullWarmMCyclesPerSec = mcyclesPerSec(fullCycles, fullWarm)
+	return res, nil
 }

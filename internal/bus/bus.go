@@ -127,6 +127,24 @@ func CostMasked(prev, cur, pairMask Word, lambda float64) float64 {
 		lambda*float64(Weight(single)+2*Weight(opposite))
 }
 
+// CostMaskedInt is CostMasked for integral Λ, computed entirely in
+// uint64. Transition and coupling counts are at most 64 and 126, so for
+// Λ below 2^46 every cost both functions can produce is an integer under
+// 2^53 — exactly representable in float64 — and comparing two
+// CostMaskedInt values orders identically to comparing the CostMasked
+// floats. Encoders that rank candidate bus states every cycle use this
+// to drop the int→float conversions and float compares from their hot
+// path without changing a single decision.
+func CostMaskedInt(prev, cur, pairMask Word, lambda uint64) uint64 {
+	t := prev ^ cur
+	rising := cur &^ prev
+	falling := prev &^ cur
+	single := (t ^ (t >> 1)) & pairMask
+	opposite := ((rising & (falling >> 1)) | (falling & (rising >> 1))) & pairMask
+	return uint64(Weight(t)) +
+		lambda*uint64(Weight(single)+2*Weight(opposite))
+}
+
 // ExpectedSelfCoupling returns the expected number of coupling events
 // caused by applying transition vector t to a bus whose wire polarities are
 // uniformly random. Pairs where exactly one wire toggles always cost 1;

@@ -34,22 +34,40 @@ const (
 // channel is the encoder-side bus driver. The data and pair masks are
 // hoisted into the struct at construction: sendRaw ranks two candidate
 // bus states every raw cycle, and recomputing masks per candidate
-// dominated the encode profile.
+// dominated the encode profile. When the assumed Λ is integral (as in
+// every experiment except Figure 15's fractional λN points) the
+// raw-vs-inverted choice runs on bus.CostMaskedInt — the exact-ordering
+// equivalence is documented there.
 type channel struct {
-	width    int     // data wires
-	lambda   float64 // assumed Λ for the raw-vs-inverted choice
-	state    bus.Word
-	dataMask bus.Word // Mask(width)
-	pairMask bus.Word // Mask(busWidth-1): adjacent pairs incl. control wires
+	width       int     // data wires
+	lambda      float64 // assumed Λ for the raw-vs-inverted choice
+	state       bus.Word
+	dataMask    bus.Word // Mask(width)
+	pairMask    bus.Word // Mask(busWidth-1): adjacent pairs incl. control wires
+	lambdaInt   uint64   // integral Λ when lambdaIsInt
+	lambdaIsInt bool
+}
+
+// intLambda reports whether lambda is usable by bus.CostMaskedInt:
+// a non-negative integer small enough that every cost stays exactly
+// representable (see CostMaskedInt's bound).
+func intLambda(lambda float64) (uint64, bool) {
+	if lambda >= 0 && lambda < 1<<40 && lambda == float64(uint64(lambda)) {
+		return uint64(lambda), true
+	}
+	return 0, false
 }
 
 func newChannel(width int, lambda float64) channel {
 	checkWidth(width)
+	li, ok := intLambda(lambda)
 	return channel{
-		width:    width,
-		lambda:   lambda,
-		dataMask: bus.Mask(width),
-		pairMask: bus.Mask(width + 1),
+		width:       width,
+		lambda:      lambda,
+		dataMask:    bus.Mask(width),
+		pairMask:    bus.Mask(width + 1),
+		lambdaInt:   li,
+		lambdaIsInt: ok,
 	}
 }
 
@@ -68,6 +86,9 @@ func (c *channel) sendCode(code bus.Word) bus.Word {
 // toggles the corresponding control wire. It reports whether the inverted
 // form was chosen.
 func (c *channel) sendRaw(v uint64) (bus.Word, bool) {
+	if c.lambdaIsInt {
+		return c.sendRawInt(bus.Word(v) & c.dataMask)
+	}
 	keep := c.state &^ c.dataMask
 	candRaw := (keep | bus.Word(v)&c.dataMask) ^ c.ctrlRaw()
 	candInv := (keep | ^bus.Word(v)&c.dataMask) ^ c.ctrlInv()
@@ -79,6 +100,51 @@ func (c *channel) sendRaw(v uint64) (bus.Word, bool) {
 	}
 	c.state = candRaw
 	return c.state, false
+}
+
+// sendRawInt is sendRaw's integral-Λ fast path: one fused eq. (3)
+// evaluation ranks both candidates instead of two independent
+// bus.CostMaskedInt calls. The candidates' transition vectors are
+// complements on the data wires, so their shared subexpressions are
+// computed once: with p the current data state and d = p^v,
+//
+//	raw:      transitions d|R, rising v&^p,      falling p&^v,  plus R
+//	inverted: transitions d^D|I, rising D&^(v|p), falling p&v,  plus I
+//
+// and the self-transition weights are pd+1 and width-pd+1 for
+// pd = weight(d). TestChannelIntCostMatchesFloat pins every decision to
+// the float path's.
+func (c *channel) sendRawInt(v bus.Word) (bus.Word, bool) {
+	s := c.state
+	d := c.dataMask
+	ctlR := c.ctrlRaw()
+	ctlI := c.ctrlInv()
+	p := s & d
+	t := p ^ v
+	pd := uint64(bus.Weight(t))
+	rUp := (v &^ p) | (ctlR &^ s)
+	rDn := (p &^ v) | (ctlR & s)
+	iUp := (d &^ (v | p)) | (ctlI &^ s)
+	iDn := (p & v) | (ctlI & s)
+	pm := c.pairMask
+	costRaw := pd + 1 + c.lambdaInt*couplingEvents((t|ctlR), rUp, rDn, pm)
+	costInv := uint64(c.width) - pd + 1 + c.lambdaInt*couplingEvents((t^d)|ctlI, iUp, iDn, pm)
+	keep := s &^ d
+	if costInv < costRaw {
+		c.state = (keep | (v ^ d)) ^ ctlI
+		return c.state, true
+	}
+	c.state = (keep | v) ^ ctlR
+	return c.state, false
+}
+
+// couplingEvents counts eq. (3) coupling events for one candidate from
+// its transition vector and rising/falling wire sets: single-toggle
+// pairs cost 1, opposite-toggle pairs 2.
+func couplingEvents(t, up, dn, pm bus.Word) uint64 {
+	single := (t ^ t>>1) & pm
+	opposite := ((up & (dn >> 1)) | (dn & (up >> 1))) & pm
+	return uint64(bus.Weight(single)) + 2*uint64(bus.Weight(opposite))
 }
 
 func (c *channel) reset() { c.state = 0 }

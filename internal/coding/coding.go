@@ -417,6 +417,7 @@ func (ev *Evaluator) Evaluate(trace []uint64, lambda float64, raw *bus.Meter) (R
 		}
 	}
 	st.Flush()
+	evaluatedCycles.Add(uint64(len(trace)))
 	return ev.result(raw, coded, lambda), nil
 }
 
@@ -476,6 +477,7 @@ func (ev *Evaluator) EvaluateBuffered(trace []uint64, lambda float64, raw *bus.M
 	coded := bus.NewMeterLite(ev.enc.BusWidth())
 	coded.Record(0)
 	coded.RecordTrace(buf)
+	evaluatedCycles.Add(uint64(len(trace)))
 	return ev.result(raw, coded, lambda), nil
 }
 

@@ -151,7 +151,10 @@ type contextState struct {
 	sr     []srEntry
 	srHead int
 	last   uint64
-	cycle  uint64
+	// untilDivide counts down to the next counter division (0 when
+	// DividePeriod is disabled) — a decrement per cycle instead of the
+	// modulo the period check would otherwise cost on every value.
+	untilDivide int
 
 	tableIndex  *ctxIndex
 	srIndex     *ctxIndex
@@ -168,6 +171,7 @@ func newContextState(cfg ContextConfig) contextState {
 		table:       make([]tableEntry, cfg.TableSize),
 		sr:          make([]srEntry, cfg.ShiftEntries),
 		pendingBits: make([]uint64, (cfg.TableSize+63)/64),
+		untilDivide: cfg.DividePeriod,
 	}
 	if cfg.TableSize >= contextIndexMinEntries {
 		s.tableIndex = newCtxIndex(cfg.TableSize)
@@ -198,13 +202,16 @@ func (s *contextState) setPendingBit(i int, pending bool) {
 // the pending-bit sort. Both ends call it at the top of every cycle,
 // before classifying the new value, so positional codes stay consistent.
 func (s *contextState) step() {
-	s.cycle++
-	if p := s.cfg.DividePeriod; p > 0 && s.cycle%uint64(p) == 0 {
-		for i := range s.table {
-			s.table[i].count /= 2
-		}
-		for i := range s.sr {
-			s.sr[i].count /= 2
+	if s.untilDivide > 0 {
+		s.untilDivide--
+		if s.untilDivide == 0 {
+			for i := range s.table {
+				s.table[i].count /= 2
+			}
+			for i := range s.sr {
+				s.sr[i].count /= 2
+			}
+			s.untilDivide = s.cfg.DividePeriod
 		}
 	}
 	// One top-to-bottom pass of the neighbour-swap sort: each pending
@@ -282,6 +289,12 @@ func (s *contextState) increment(e int) {
 // linear scan agree because the map holds exactly the valid entries, and
 // Invariant 1 makes valid keys unique.
 func (s *contextState) findTable(key ctxKey) int {
+	// The byte histogram kept for probe modeling doubles as a negative
+	// filter: no valid entry shares the key's low byte, so the key
+	// cannot be present and neither the scan nor the hash probe runs.
+	if s.tableBytes[byte(key.cur)] == 0 {
+		return -1
+	}
 	if s.tableIndex != nil {
 		return s.tableIndex.get(key)
 	}
@@ -295,6 +308,9 @@ func (s *contextState) findTable(key ctxKey) int {
 
 // findSR returns the shift-register slot holding key, or -1.
 func (s *contextState) findSR(key ctxKey) int {
+	if s.srBytes[byte(key.cur)] == 0 {
+		return -1 // same negative filter as findTable
+	}
 	if s.srIndex != nil {
 		return s.srIndex.get(key)
 	}
@@ -310,14 +326,29 @@ func (s *contextState) findSR(key ctxKey) int {
 // called after classification, and identically on both ends.
 func (s *contextState) update(v uint64) {
 	key := s.makeKey(v)
-	if slot := s.findTable(key); slot >= 0 {
+	tableSlot := s.findTable(key)
+	srSlot := -1
+	if tableSlot < 0 {
+		srSlot = s.findSR(key)
+	}
+	s.updateAt(v, key, tableSlot, srSlot)
+}
+
+// updateAt is update for callers that already probed both structures
+// while classifying v (the encoder): tableSlot is findTable(key), and
+// srSlot is findSR(key) when tableSlot is -1 (unused otherwise). Nothing
+// between classification and update mutates the dictionaries, so reusing
+// the classification's probe results here halves the per-cycle lookups
+// without changing a single count.
+func (s *contextState) updateAt(v uint64, key ctxKey, tableSlot, srSlot int) {
+	if tableSlot >= 0 {
 		// A hit to an entry whose pending bit is already set is lost
 		// (§5.3.1 footnote) — correctness is unaffected, some counts are.
-		s.table[slot].pending = true
-		s.setPendingBit(slot, true)
-	} else if slot := s.findSR(key); slot >= 0 {
-		if s.sr[slot].count < counterMax {
-			s.sr[slot].count++
+		s.table[tableSlot].pending = true
+		s.setPendingBit(tableSlot, true)
+	} else if srSlot >= 0 {
+		if s.sr[srSlot].count < counterMax {
+			s.sr[srSlot].count++
 		}
 		if s.ops != nil {
 			s.ops.CounterIncrements++
@@ -398,7 +429,7 @@ func (s *contextState) reset() {
 	}
 	s.srHead = 0
 	s.last = 0
-	s.cycle = 0
+	s.untilDivide = s.cfg.DividePeriod
 	if s.tableIndex != nil {
 		s.tableIndex.clear()
 	}
@@ -499,25 +530,83 @@ func (e *contextEncoder) Encode(v uint64) bus.Word {
 	key := e.st.makeKey(v)
 	e.countProbes(key)
 
+	// Classification and update share one round of dictionary probes
+	// (updateAt); the LAST-hit path never probes during classification,
+	// so it resolves the slots here for the update.
 	var out bus.Word
+	tableSlot, srSlot := -1, -1
 	switch {
 	case v == e.st.last:
 		e.ops.LastHits++
 		out = e.ch.sendCode(0)
+		if tableSlot = e.st.findTable(key); tableSlot < 0 {
+			srSlot = e.st.findSR(key)
+		}
 	default:
-		if slot := e.st.findTable(key); slot >= 0 {
+		if tableSlot = e.st.findTable(key); tableSlot >= 0 {
 			e.ops.CodeSends++
-			out = e.ch.sendCode(t.cb.Code(1 + slot))
-		} else if slot := e.st.findSR(key); slot >= 0 {
+			out = e.ch.sendCode(t.cb.Code(1 + tableSlot))
+		} else if srSlot = e.st.findSR(key); srSlot >= 0 {
 			e.ops.CodeSends++
-			out = e.ch.sendCode(t.cb.Code(1 + t.cfg.TableSize + slot))
+			out = e.ch.sendCode(t.cb.Code(1 + t.cfg.TableSize + srSlot))
 		} else {
 			e.ops.RawSends++
 			out, _ = e.ch.sendRaw(v)
 		}
 	}
-	e.st.update(v)
+	e.st.updateAt(v, key, tableSlot, srSlot)
 	return out
+}
+
+// encodeStream implements streamEncoder: Encode's per-cycle algorithm
+// with the mask, table size and hot counters hoisted into locals and
+// each coded word recorded straight into the meter stream.
+// TestContextEncodeStreamMatchesEncode pins it cycle-for-cycle (outputs,
+// ops and dictionary state) to Encode.
+func (e *contextEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
+	t := e.t
+	mask := uint64(e.ch.dataMask)
+	tableSize := t.cfg.TableSize
+	probes := uint64(len(e.st.table) + len(e.st.sr))
+	e.st.ops = &e.ops
+	var lastHits, codeSends, rawSends, partial, full uint64
+	for _, v := range vals {
+		v &= mask
+		e.st.step()
+		key := e.st.makeKey(v)
+		partial += probes
+		b := byte(key.cur)
+		full += uint64(e.st.tableBytes[b]) + uint64(e.st.srBytes[b])
+		var out bus.Word
+		tableSlot, srSlot := -1, -1
+		switch {
+		case v == e.st.last:
+			lastHits++
+			out = e.ch.sendCode(0)
+			if tableSlot = e.st.findTable(key); tableSlot < 0 {
+				srSlot = e.st.findSR(key)
+			}
+		default:
+			if tableSlot = e.st.findTable(key); tableSlot >= 0 {
+				codeSends++
+				out = e.ch.sendCode(t.cb.Code(1 + tableSlot))
+			} else if srSlot = e.st.findSR(key); srSlot >= 0 {
+				codeSends++
+				out = e.ch.sendCode(t.cb.Code(1 + tableSize + srSlot))
+			} else {
+				rawSends++
+				out, _ = e.ch.sendRaw(v)
+			}
+		}
+		e.st.updateAt(v, key, tableSlot, srSlot)
+		st.Record(out)
+	}
+	e.ops.Cycles += uint64(len(vals))
+	e.ops.LastHits += lastHits
+	e.ops.CodeSends += codeSends
+	e.ops.RawSends += rawSends
+	e.ops.PartialMatches += partial
+	e.ops.FullMatches += full
 }
 
 // countProbes models the selective-precharge CAM probe across the

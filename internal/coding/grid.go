@@ -1,0 +1,412 @@
+package coding
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"buspower/internal/bus"
+)
+
+// Grid evaluation: one trace against a whole scheme/λ grid in a single
+// grouped pass. The savings stack in three layers:
+//
+//   - λ fan-out: activity meters are Λ-independent (Λ enters only when a
+//     Result's Cost is read), so grid cells that share a transcoder
+//     configuration (ConfigKey) are encoded once and read at every
+//     requested Λ. Figure 15's λ0/λ1 families collapse from one encode
+//     per (assumed, actual) pair to one per assumed Λ.
+//   - shared stride tape: every stride bank size replays one prediction
+//     tape computed in a single pass (see strideTape).
+//   - bit-sliced stateless coders: raw, Gray and spatial cells are
+//     metered lane-parallel on a transposed trace (bus.SlicedTrace) —
+//     64 cycles per machine word — instead of cycle-by-cycle.
+//
+// Everything else runs through the scalar Evaluator, still profiting
+// from the ConfigKey dedupe. Results are bit-identical to evaluating
+// each cell individually (differential-tested by grid_test.go).
+
+// GridCell is one evaluation request: a transcoder read at coupling
+// ratio Lambda.
+type GridCell struct {
+	T      Transcoder
+	Lambda float64
+}
+
+// evaluatedCycles counts (trace cycle × grid cell) units delivered by
+// Evaluate/EvaluateGrid process-wide. Grouped passes deliver more cycles
+// than they execute — that efficiency is exactly what the bench suite's
+// throughput line measures.
+var evaluatedCycles atomic.Uint64
+
+// EvaluatedCycles returns the process-wide count of evaluation cycles
+// delivered: one unit per trace cycle per evaluated grid cell (a plain
+// Evaluate counts as a one-cell grid). The bench harness differences
+// this around a suite pass to report suite-level throughput.
+func EvaluatedCycles() uint64 { return evaluatedCycles.Load() }
+
+// EvaluateGrid evaluates every cell against one trace. raw, when
+// non-nil, is a pre-measured raw-bus meter (as from MeasureRawValues)
+// for cells whose data width matches; other widths are measured here
+// once each. verify applies to every cell exactly as in
+// Evaluator.Evaluate; under VerifyFull the fast paths (which cannot run
+// a live decoder over the whole stream) step aside and every unique
+// configuration runs the scalar full-verify path, still deduplicated.
+//
+// Results are cell-aligned. Cells sharing a configuration share Raw and
+// Coded meter instances; callers that mutate or Reset a meter must
+// Clone it first.
+func EvaluateGrid(cells []GridCell, trace []uint64, raw *bus.Meter, verify VerifyPolicy) ([]Result, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	results := make([]Result, len(cells))
+	type group struct {
+		t     Transcoder
+		cells []int
+	}
+	groups := make(map[string]*group, len(cells))
+	order := make([]*group, 0, len(cells))
+	for i := range cells {
+		t := cells[i].T
+		if t == nil {
+			return nil, fmt.Errorf("coding: grid cell %d has no transcoder", i)
+		}
+		key := ConfigKey(t)
+		g := groups[key]
+		if g == nil {
+			g = &group{t: t}
+			groups[key] = g
+			order = append(order, g)
+		}
+		g.cells = append(g.cells, i)
+	}
+
+	rawMeters := make(map[int]*bus.Meter, 1)
+	if raw != nil {
+		rawMeters[raw.Width()] = raw
+	}
+	rawFor := func(width int) *bus.Meter {
+		if m := rawMeters[width]; m != nil {
+			return m
+		}
+		m := MeasureRawValues(width, trace)
+		rawMeters[width] = m
+		return m
+	}
+
+	var sliced map[int]*bus.SlicedTrace
+	slicedFor := func(width int) *bus.SlicedTrace {
+		if s := sliced[width]; s != nil {
+			return s
+		}
+		if sliced == nil {
+			sliced = make(map[int]*bus.SlicedTrace, 1)
+		}
+		s := bus.NewSlicedTrace(width, trace)
+		sliced[width] = s
+		return s
+	}
+
+	// One shared stride tape per data width, deep enough for the largest
+	// bank in the grid.
+	var tapes map[int]*strideTape
+	if verify.mode != verifyFull {
+		var maxK map[int]int
+		for _, g := range order {
+			if st, ok := g.t.(*StrideTranscoder); ok && st.strides <= tapeMaxStrides && st.strides > maxK[st.width] {
+				if maxK == nil {
+					maxK = make(map[int]int, 1)
+				}
+				maxK[st.width] = st.strides
+			}
+		}
+		if maxK != nil {
+			tapes = make(map[int]*strideTape, len(maxK))
+			for w, k := range maxK {
+				tapes[w] = buildStrideTape(w, k, trace)
+			}
+		}
+	}
+
+	var ev Evaluator
+	ev.Verify = verify
+	n := uint64(len(trace))
+	for _, g := range order {
+		width := g.t.DataWidth()
+		rawM := rawFor(width)
+		var coded *bus.Meter
+		var ops OpStats
+		var codedWidth int
+		fast := false
+		if verify.mode != verifyFull {
+			switch t := g.t.(type) {
+			case *StrideTranscoder:
+				if tp := tapes[t.width]; tp != nil && t.strides <= tp.maxK {
+					m, o, err := tp.evaluate(t, trace, verify)
+					if err != nil {
+						return nil, err
+					}
+					coded, ops, codedWidth, fast = m, o, t.width+2, true
+				}
+			case *RawTranscoder:
+				if err := verifyStatelessSampled(t, trace, verify); err != nil {
+					return nil, err
+				}
+				coded = slicedFor(width).MeterLite()
+				codedWidth, fast = width, true
+			case *GrayTranscoder:
+				if err := verifyStatelessSampled(t, trace, verify); err != nil {
+					return nil, err
+				}
+				coded = slicedFor(width).Gray().MeterLite()
+				codedWidth, fast = width, true
+			case *SpatialTranscoder:
+				if err := verifyStatelessSampled(t, trace, verify); err != nil {
+					return nil, err
+				}
+				coded = spatialCodedMeter(t, trace)
+				codedWidth, fast = 1<<uint(t.width), true
+			}
+		}
+		if !fast {
+			ev.Use(g.t)
+			res, err := ev.Evaluate(trace, cells[g.cells[0]].Lambda, rawM)
+			if err != nil {
+				return nil, err
+			}
+			// Detach from the Evaluator's reused meter before the next group.
+			coded = res.Coded.Clone()
+			ops = res.Ops
+			codedWidth = res.CodedWidth
+			evaluatedCycles.Add(n * uint64(len(g.cells)-1)) // Evaluate counted one cell
+		} else {
+			evaluatedCycles.Add(n * uint64(len(g.cells)))
+		}
+		name := g.t.Name()
+		for _, ci := range g.cells {
+			results[ci] = Result{
+				Scheme:     name,
+				DataWidth:  width,
+				CodedWidth: codedWidth,
+				Raw:        rawM,
+				Coded:      coded,
+				Lambda:     cells[ci].Lambda,
+				Ops:        ops,
+			}
+		}
+	}
+	return results, nil
+}
+
+// tapeMaxStrides bounds the bank depth a uint8 tape record can encode;
+// deeper banks (which no experiment uses) fall back to the scalar path.
+const tapeMaxStrides = 250
+
+// tapeRawRec marks a cycle no stride predicted.
+const tapeRawRec = 0xFF
+
+// strideTape is the shared prediction record behind the grid's stride
+// fan-out. The stride history ring is pushed unconditionally with every
+// masked input value, so its contents — and therefore each stride-k
+// prediction p_k(i) = (2·v[i-k] − v[i-2k]) mod 2^width, zero-padded
+// before the trace starts — are identical across all bank sizes K. One
+// pass records, per cycle, the minimal stride whose prediction matches
+// (0 for a LAST-value hit, tapeRawRec for none); a size-K bank then
+// replays the tape: record m = 0 sends code 0, 1 ≤ m ≤ K sends the
+// bank's code for stride m (probing m predictors on the way), and
+// anything deeper falls back to raw after probing all K.
+type strideTape struct {
+	width int
+	maxK  int
+	recs  []uint8
+	hist  []uint64 // hist[0] = LAST hits, hist[m] = cycles with minimal stride m
+	raws  uint64   // cycles with no match at any stride ≤ maxK
+}
+
+func buildStrideTape(width, maxK int, trace []uint64) *strideTape {
+	tp := &strideTape{
+		width: width,
+		maxK:  maxK,
+		recs:  make([]uint8, len(trace)),
+		hist:  make([]uint64, maxK+1),
+	}
+	mask := uint64(bus.Mask(width))
+	var prev uint64
+	for i, v := range trace {
+		v &= mask
+		if v == prev {
+			tp.hist[0]++
+			prev = v
+			continue // recs[i] already 0
+		}
+		rec := uint8(tapeRawRec)
+		for k := 1; k <= maxK; k++ {
+			var a, b uint64
+			if j := i - k; j >= 0 {
+				a = trace[j] & mask
+			}
+			if j := i - 2*k; j >= 0 {
+				b = trace[j] & mask
+			}
+			if (a+(a-b))&mask == v {
+				rec = uint8(k)
+				break
+			}
+		}
+		if rec == tapeRawRec {
+			tp.raws++
+		} else {
+			tp.hist[rec]++
+		}
+		tp.recs[i] = rec
+		prev = v
+	}
+	return tp
+}
+
+// evaluate replays the tape as a size-t.strides bank, producing the
+// coded-bus meter and OpStats bit-identical to the scalar
+// strideEncoder run (grid_test.go differentials).
+func (tp *strideTape) evaluate(t *StrideTranscoder, trace []uint64, verify VerifyPolicy) (*bus.Meter, OpStats, error) {
+	ch := newChannel(t.width, t.lambda)
+	coded := bus.NewMeterLite(ch.busWidth())
+	stream := coded.Stream()
+	st := &stream
+	st.Record(0)
+	mask := uint64(ch.dataMask)
+	K := uint8(t.strides)
+	codes := make([]bus.Word, t.strides+1)
+	for m := 1; m <= t.strides; m++ {
+		codes[m] = t.cb.Code(m)
+	}
+	recs := tp.recs
+	n := len(trace)
+	replay := func(i int) bus.Word {
+		rec := recs[i]
+		switch {
+		case rec == 0:
+			return ch.sendCode(0)
+		case rec <= K:
+			return ch.sendCode(codes[rec])
+		default:
+			w, _ := ch.sendRaw(trace[i] & mask)
+			return w
+		}
+	}
+	head := 0
+	if verify.mode == verifySampled {
+		head = min(VerifyWindow, n)
+		dec := t.NewDecoder()
+		for i := 0; i < head; i++ {
+			w := replay(i)
+			v := trace[i] & mask
+			if got := dec.Decode(w); got != v {
+				return nil, OpStats{}, fmt.Errorf("coding: %s decoder diverged at cycle %d: sent %#x, decoded %#x", t.Name(), i, v, got)
+			}
+			st.Record(w)
+		}
+	}
+	for i := head; i < n; i++ {
+		rec := recs[i]
+		var w bus.Word
+		switch {
+		case rec == 0:
+			w = ch.sendCode(0)
+		case rec <= K:
+			w = ch.sendCode(codes[rec])
+		default:
+			w, _ = ch.sendRaw(trace[i] & mask)
+		}
+		st.Record(w)
+	}
+	st.Flush()
+	if verify.mode == verifySampled {
+		if err := replaySampledFresh(t, trace, verify); err != nil {
+			return nil, OpStats{}, err
+		}
+	}
+	// OpStats from the tape's minimal-stride histogram: a size-K bank
+	// code-sends every minimal stride ≤ K (probing m predictors), raw-sends
+	// the rest (probing all K), and LAST hits probe nothing.
+	ops := OpStats{Cycles: uint64(n), LastHits: tp.hist[0]}
+	var codeSends, probes uint64
+	for m := 1; m <= t.strides; m++ {
+		codeSends += tp.hist[m]
+		probes += tp.hist[m] * uint64(m)
+	}
+	rawSends := tp.raws
+	for m := t.strides + 1; m <= tp.maxK; m++ {
+		rawSends += tp.hist[m]
+	}
+	ops.CodeSends = codeSends
+	ops.RawSends = rawSends
+	ops.PartialMatches = probes + rawSends*uint64(t.strides)
+	return coded, ops, nil
+}
+
+// spatialCodedMeter produces the spatial coder's coded-bus meter by
+// materializing its one-toggle-per-cycle wire states (a trivial prefix
+// XOR) and metering them lane-parallel on the 2^width-wire sliced bus.
+func spatialCodedMeter(t *SpatialTranscoder, trace []uint64) *bus.Meter {
+	mask := uint64(bus.Mask(t.width))
+	coded := make([]uint64, len(trace))
+	var state uint64
+	for i, v := range trace {
+		state ^= 1 << uint(v&mask)
+		coded[i] = state
+	}
+	return bus.NewSlicedTrace(1<<uint(t.width), coded).MeterLite()
+}
+
+// verifyStatelessSampled replicates Evaluate's sampled-verification
+// ritual for the stateless fast paths: the first VerifyWindow cycles
+// round-trip through a live encoder/decoder pair (fresh from reset —
+// which for these coders sees exactly the words the evaluation
+// produces), then every every-th value plus the trailing window replays
+// through a second fresh pair.
+func verifyStatelessSampled(t Transcoder, trace []uint64, verify VerifyPolicy) error {
+	if verify.mode != verifySampled {
+		return nil
+	}
+	mask := uint64(bus.Mask(t.DataWidth()))
+	enc, dec := t.NewEncoder(), t.NewDecoder()
+	head := min(VerifyWindow, len(trace))
+	for i := 0; i < head; i++ {
+		v := trace[i] & mask
+		w := enc.Encode(v)
+		if got := dec.Decode(w); got != v {
+			return fmt.Errorf("coding: %s decoder diverged at cycle %d: sent %#x, decoded %#x", t.Name(), i, v, got)
+		}
+	}
+	return replaySampledFresh(t, trace, verify)
+}
+
+// replaySampledFresh collects the sampled-verification value set —
+// every every-th value past the head window plus the trace's last
+// VerifyWindow values — and round-trips it through a fresh
+// encoder/decoder pair, exactly as Evaluator.replaySample does.
+func replaySampledFresh(t Transcoder, trace []uint64, verify VerifyPolicy) error {
+	mask := uint64(bus.Mask(t.DataWidth()))
+	n := len(trace)
+	every := verify.every
+	head := min(VerifyWindow, n)
+	tail := max(n-VerifyWindow, head)
+	var sample []uint64
+	for i := (head + every - 1) / every * every; i < tail; i += every {
+		sample = append(sample, trace[i]&mask)
+	}
+	for i := tail; i < n; i++ {
+		sample = append(sample, trace[i]&mask)
+	}
+	if len(sample) == 0 {
+		return nil
+	}
+	venc, vdec := t.NewEncoder(), t.NewDecoder()
+	for j, v := range sample {
+		w := venc.Encode(v)
+		if got := vdec.Decode(w); got != v {
+			return fmt.Errorf("coding: %s sampled-verification replay diverged at sample %d: sent %#x, decoded %#x", t.Name(), j, v, got)
+		}
+	}
+	return nil
+}

@@ -157,6 +157,55 @@ func (e *inversionEncoder) Encode(v uint64) bus.Word {
 	return best
 }
 
+// encodeStream implements streamEncoder: the same candidate ranking as
+// Encode with the width masks hoisted out of the loop and, for integral
+// assumed Λ, the cost comparison run in uint64 (bus.CostMaskedInt) —
+// both preserve every first-strictly-cheaper pattern choice exactly.
+// TestInversionEncodeStreamMatchesEncode pins it cycle-for-cycle.
+func (e *inversionEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
+	t := e.t
+	mask := uint64(bus.Mask(t.width))
+	pairMask := bus.Mask(t.width + t.ctrlBits - 1)
+	shift := uint(t.width)
+	patterns := t.patterns
+	state := e.state
+	if li, ok := intLambda(t.assumedLambda); ok {
+		for _, v := range vals {
+			v &= mask
+			var best bus.Word
+			var bestCost uint64
+			for k, p := range patterns {
+				cand := bus.Word(v^p) | bus.Word(k)<<shift
+				cost := bus.CostMaskedInt(state, cand, pairMask, li)
+				if k == 0 || cost < bestCost {
+					best, bestCost = cand, cost
+				}
+			}
+			state = best
+			st.Record(best)
+		}
+	} else {
+		lambda := t.assumedLambda
+		for _, v := range vals {
+			v &= mask
+			var best bus.Word
+			var bestCost float64
+			for k, p := range patterns {
+				cand := bus.Word(v^p) | bus.Word(k)<<shift
+				cost := bus.CostMasked(state, cand, pairMask, lambda)
+				if k == 0 || cost < bestCost {
+					best, bestCost = cand, cost
+				}
+			}
+			state = best
+			st.Record(best)
+		}
+	}
+	e.state = state
+	e.ops.Cycles += uint64(len(vals))
+	e.ops.RawSends += uint64(len(vals))
+}
+
 func (e *inversionEncoder) BusWidth() int { return e.t.width + e.t.ctrlBits }
 func (e *inversionEncoder) Reset()        { e.state = 0; e.ops = OpStats{} }
 func (e *inversionEncoder) Ops() OpStats  { return e.ops }

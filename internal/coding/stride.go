@@ -146,6 +146,49 @@ func (e *strideEncoder) Encode(v uint64) bus.Word {
 	return out
 }
 
+// encodeStream implements streamEncoder: the per-cycle algorithm of
+// Encode with the op counters hoisted into locals and each coded word
+// recorded straight into the meter stream.
+// TestStrideEncodeStreamMatchesEncode pins it cycle-for-cycle.
+func (e *strideEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
+	t := e.t
+	mask := uint64(e.ch.dataMask)
+	strides := t.strides
+	width := t.width
+	var lastHits, codeSends, rawSends, partial uint64
+	for _, v := range vals {
+		v &= mask
+		var out bus.Word
+		if v == e.hist.at(0) {
+			lastHits++
+			out = e.ch.sendCode(0)
+		} else {
+			matched := -1
+			for k := 1; k <= strides; k++ {
+				partial++
+				if e.hist.predict(k, width) == v {
+					matched = k
+					break
+				}
+			}
+			if matched > 0 {
+				codeSends++
+				out = e.ch.sendCode(t.cb.Code(matched))
+			} else {
+				rawSends++
+				out, _ = e.ch.sendRaw(v)
+			}
+		}
+		e.hist.push(v)
+		st.Record(out)
+	}
+	e.ops.Cycles += uint64(len(vals))
+	e.ops.LastHits += lastHits
+	e.ops.CodeSends += codeSends
+	e.ops.RawSends += rawSends
+	e.ops.PartialMatches += partial
+}
+
 func (e *strideEncoder) BusWidth() int { return e.ch.busWidth() }
 func (e *strideEncoder) Reset() {
 	e.hist.reset()

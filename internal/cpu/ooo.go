@@ -224,6 +224,12 @@ type Simulator struct {
 	regEvents  []busEvent
 	memEvents  []busEvent
 	addrEvents []busEvent
+
+	// regCutoff, once non-zero, is a proven upper bound on the cycle of
+	// any register-bus event that can still appear in the truncated
+	// output; later events beyond it are skipped at the append site (see
+	// compactRegEvents).
+	regCutoff uint64
 }
 
 // rasPush records a call's return address.
@@ -304,6 +310,20 @@ func (s *Simulator) Run(maxInstrs uint64, maxBusValues int) BusTraces {
 		executed    uint64
 		info        StepInfo
 	)
+	// When the caller caps the trace length, size the event buffers up
+	// front and bound the register-bus buffer by periodic compaction: the
+	// loop runs until *both* buses are full, so the busier register bus
+	// would otherwise grow to many multiples of the cap, only to be
+	// sorted and truncated in collect.
+	highWater := 0
+	if maxBusValues > 0 {
+		highWater = 4 * maxBusValues
+		if s.regEvents == nil {
+			s.regEvents = make([]busEvent, 0, highWater+4)
+			s.memEvents = make([]busEvent, 0, maxBusValues+4)
+			s.addrEvents = make([]busEvent, 0, maxBusValues+4)
+		}
+	}
 	for executed < maxInstrs && !core.halted {
 		core.StepInto(&info)
 		if info.Halted && info.Instr.Op != OpHalt {
@@ -376,8 +396,18 @@ func (s *Simulator) Run(maxInstrs uint64, maxBusValues int) BusTraces {
 		}
 
 		// --- Register bus events: operand reads at issue ---
-		for i := 0; i < info.NSrcInt; i++ {
-			s.regEvents = append(s.regEvents, busEvent{issue, info.SrcInt[i]})
+		if s.regCutoff == 0 || issue <= s.regCutoff {
+			for i := 0; i < info.NSrcInt; i++ {
+				s.regEvents = append(s.regEvents, busEvent{issue, info.SrcInt[i]})
+			}
+			if highWater > 0 && len(s.regEvents) >= highWater {
+				s.compactRegEvents(maxBusValues)
+				// If ties at the cutoff kept the buffer large, raise the
+				// trigger so compaction cannot thrash.
+				if hw := 2 * len(s.regEvents); hw > highWater {
+					highWater = hw
+				}
+			}
 		}
 
 		// --- Memory bus events (§4.1): load data crossing the external
@@ -582,6 +612,78 @@ func (s *Simulator) collect(executed uint64, maxBusValues int) BusTraces {
 		t.IPC = float64(t.Instructions) / float64(t.Cycles)
 	}
 	return t
+}
+
+// compactRegEvents bounds the register-bus event buffer without changing
+// the collected trace. Let T be the maxBusValues-th smallest cycle
+// currently buffered: at least maxBusValues events have cycle <= T, and
+// the collection sort is stable, so every event with cycle > T sorts
+// strictly after them and can never be among the first maxBusValues
+// output values. Dropping those events — and, via regCutoff, skipping
+// future ones — while keeping *all* events with cycle <= T in append
+// order therefore leaves the truncated, stably-sorted output
+// byte-identical to the unbounded build. Recomputed cutoffs only
+// tighten: later selections run over a subset of events all <= the
+// previous cutoff.
+func (s *Simulator) compactRegEvents(maxBusValues int) {
+	t := kthSmallestCycle(s.regEvents, maxBusValues)
+	w := 0
+	for _, e := range s.regEvents {
+		if e.cycle <= t {
+			s.regEvents[w] = e
+			w++
+		}
+	}
+	s.regEvents = s.regEvents[:w]
+	s.regCutoff = t
+}
+
+// kthSmallestCycle returns the k-th smallest (1-indexed, counting
+// duplicates) cycle among the events without perturbing their order:
+// iterative quickselect with median-of-three pivots over a scratch copy
+// of the cycles. Requires 1 <= k <= len(ev).
+func kthSmallestCycle(ev []busEvent, k int) uint64 {
+	c := make([]uint64, len(ev))
+	for i := range ev {
+		c[i] = ev[i].cycle
+	}
+	lo, hi, idx := 0, len(c)-1, k-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if c[mid] < c[lo] {
+			c[mid], c[lo] = c[lo], c[mid]
+		}
+		if c[hi] < c[lo] {
+			c[hi], c[lo] = c[lo], c[hi]
+		}
+		if c[hi] < c[mid] {
+			c[hi], c[mid] = c[mid], c[hi]
+		}
+		p := c[mid]
+		i, j := lo, hi
+		for i <= j {
+			for c[i] < p {
+				i++
+			}
+			for c[j] > p {
+				j--
+			}
+			if i <= j {
+				c[i], c[j] = c[j], c[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case idx <= j:
+			hi = j
+		case idx >= i:
+			lo = i
+		default:
+			return c[idx]
+		}
+	}
+	return c[idx]
 }
 
 // radixSortByCycle sorts events by cycle with a stable byte-wise LSD radix

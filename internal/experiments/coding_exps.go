@@ -32,23 +32,12 @@ func init() {
 	register(Runner{ID: "fig25", Title: "Context transcoder: energy removed vs counter divide period, tables of 16 and 64 (Figure 25)", Run: runFig25})
 }
 
-// removedPercent evaluates a transcoder on a trace through the shared
-// result memo and returns the percentage of Λ-weighted energy removed.
-// ev carries reusable encoder/decoder scratch across a sweep's inner
-// loop (used on memo misses); raw is the trace's shared raw-bus meter
-// (nil to measure here).
-func removedPercent(ev *coding.Evaluator, tc coding.Transcoder, id traceID, trace []uint64, lambda float64, raw *bus.Meter, cfg Config) (float64, error) {
-	res, err := evalResult(ev, tc, id, trace, lambda, raw, cfg)
-	if err != nil {
-		return 0, err
-	}
-	return 100 * res.EnergyRemoved(), nil
-}
-
 // sweepRows runs a builder over every workload (plus the random source)
 // and a parameter axis, emitting one row per (source, parameter). Sources
 // are evaluated concurrently when the engine is attached; row order is
-// the serial traversal's regardless.
+// the serial traversal's regardless. Each source's parameter family goes
+// through the grid engine in one pass, so e.g. a stride sweep encodes the
+// trace once for all bank depths instead of once per depth.
 func sweepRows(t *Table, busName string, cfg Config, params []int, includeRandom bool,
 	build func(param int) (coding.Transcoder, error)) error {
 	sources := workload.Names()
@@ -80,17 +69,20 @@ func sweepRows(t *Table, busName string, cfg Config, params []int, includeRandom
 			}
 			id = workloadTraceID(src, busName, cfg)
 		}
-		var ev coding.Evaluator
-		for _, p := range params {
+		points := make([]gridPoint, len(params))
+		for k, p := range params {
 			tc, err := build(p)
 			if err != nil {
 				return err
 			}
-			pct, err := removedPercent(&ev, tc, id, tr, evalLambda, raw, cfg)
-			if err != nil {
-				return err
-			}
-			out.AddRow(src, p, pct)
+			points[k] = gridPoint{tc: tc, lambda: evalLambda}
+		}
+		results, err := evalGridPoints(points, id, tr, raw, cfg)
+		if err != nil {
+			return err
+		}
+		for k, p := range params {
+			out.AddRow(src, p, 100*results[k].EnergyRemoved())
 		}
 		return nil
 	})
@@ -176,7 +168,7 @@ func runFig24(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		var ev coding.Evaluator
+		var points []gridPoint
 		for _, tbl := range []int{16, 64} {
 			for _, sr := range srSizes {
 				ctx, err := coding.NewContext(coding.ContextConfig{
@@ -186,11 +178,18 @@ func runFig24(cfg Config) (*Table, error) {
 				if err != nil {
 					return err
 				}
-				pct, err := removedPercent(&ev, ctx, workloadTraceID(name, "reg", cfg), tr, evalLambda, raw, cfg)
-				if err != nil {
-					return err
-				}
-				out.AddRow(name, tbl, sr, pct)
+				points = append(points, gridPoint{tc: ctx, lambda: evalLambda})
+			}
+		}
+		results, err := evalGridPoints(points, workloadTraceID(name, "reg", cfg), tr, raw, cfg)
+		if err != nil {
+			return err
+		}
+		k := 0
+		for _, tbl := range []int{16, 64} {
+			for _, sr := range srSizes {
+				out.AddRow(name, tbl, sr, 100*results[k].EnergyRemoved())
+				k++
 			}
 		}
 		return nil
@@ -218,7 +217,7 @@ func runFig25(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		var ev coding.Evaluator
+		var points []gridPoint
 		for _, tbl := range []int{16, 64} {
 			for _, period := range periods {
 				ctx, err := coding.NewContext(coding.ContextConfig{
@@ -228,11 +227,18 @@ func runFig25(cfg Config) (*Table, error) {
 				if err != nil {
 					return err
 				}
-				pct, err := removedPercent(&ev, ctx, workloadTraceID(name, "reg", cfg), tr, evalLambda, raw, cfg)
-				if err != nil {
-					return err
-				}
-				out.AddRow(name, tbl, period, pct)
+				points = append(points, gridPoint{tc: ctx, lambda: evalLambda})
+			}
+		}
+		results, err := evalGridPoints(points, workloadTraceID(name, "reg", cfg), tr, raw, cfg)
+		if err != nil {
+			return err
+		}
+		k := 0
+		for _, tbl := range []int{16, 64} {
+			for _, period := range periods {
+				out.AddRow(name, tbl, period, 100*results[k].EnergyRemoved())
+				k++
 			}
 		}
 		return nil
@@ -289,29 +295,45 @@ func runFig15(cfg Config) (*Table, error) {
 				ids = append(ids, workloadTraceID(b, src.bus, cfg))
 			}
 		}
-		var ev coding.Evaluator
-		for _, variant := range []struct {
+		variants := []struct {
 			label   string
 			assumed func(actual float64) float64
 		}{
 			{"lambda0", func(float64) float64 { return 0 }},
 			{"lambda1", func(float64) float64 { return 1 }},
 			{"lambdaN", func(actual float64) float64 { return actual }},
-		} {
+		}
+		// One grid family per trace covering every (cost function, actual Λ)
+		// point: the λ0 and λ1 variants are each a single encoder config read
+		// at all actual Λs, so the grid encodes each trace once per config
+		// instead of once per (variant, Λ) pair.
+		var points []gridPoint
+		for _, variant := range variants {
 			for _, actual := range lambdas {
 				inv, err := coding.NewInversion(busWidth, pats, variant.assumed(actual))
 				if err != nil {
 					return err
 				}
+				points = append(points, gridPoint{tc: inv, lambda: actual})
+			}
+		}
+		perTrace := make([][]coding.Result, len(traces))
+		for j, tr := range traces {
+			results, err := evalGridPoints(points, ids[j], tr, raws[j], cfg)
+			if err != nil {
+				return err
+			}
+			perTrace[j] = results
+		}
+		k := 0
+		for _, variant := range variants {
+			for _, actual := range lambdas {
 				sum := 0.0
-				for j, tr := range traces {
-					res, err := evalResult(&ev, inv, ids[j], tr, actual, raws[j], cfg)
-					if err != nil {
-						return err
-					}
-					sum += 100 * res.EnergyRemaining()
+				for j := range traces {
+					sum += 100 * perTrace[j][k].EnergyRemaining()
 				}
 				out.AddRow(src.name, variant.label, actual, sum/float64(len(traces)))
+				k++
 			}
 		}
 		return nil

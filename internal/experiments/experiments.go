@@ -29,6 +29,13 @@ type Config struct {
 	// tests get the strictest checking by default; cmd/buspower relaxes
 	// it to sampled via -verify. Results are bit-identical either way.
 	Verify coding.VerifyPolicy
+	// Parallel bounds the goroutine fan-out of a single experiment's
+	// inner sweeps when it runs outside RunAll (which brings its own
+	// pool): the async job engine sets it to its per-item CPU share so a
+	// lone batch item can still shard its grid across spare cores.
+	// Values <= 1 keep the serial path; it is ignored when RunAll has
+	// already attached an engine.
+	Parallel int
 
 	// ctx and eng are set by RunAll: ctx carries cancellation into runner
 	// inner loops, eng bounds their goroutine fan-out. Both nil under the
@@ -146,6 +153,12 @@ func Run(id string, cfg Config) (*Table, error) {
 	regMu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (see IDs())", id)
+	}
+	if cfg.eng == nil && cfg.Parallel > 1 {
+		// Standalone run with an explicit parallelism budget: give the
+		// runner's inner parFor loops a pool of its own. Row assembly is
+		// index-slotted, so the table stays byte-identical to serial.
+		cfg.eng = newEngine(cfg.Parallel, nil)
 	}
 	t, err := r.Run(cfg)
 	if err != nil {

@@ -251,17 +251,20 @@ func runExtAddr(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		var ev coding.Evaluator
-		for _, build := range builders {
+		points := make([]gridPoint, len(builders))
+		for k, build := range builders {
 			tc, err := build()
 			if err != nil {
 				return err
 			}
-			pct, err := removedPercent(&ev, tc, workloadTraceID(name, "addr", cfg), tr, evalLambda, raw, cfg)
-			if err != nil {
-				return err
-			}
-			out.AddRow(name, tc.Name(), pct)
+			points[k] = gridPoint{tc: tc, lambda: evalLambda}
+		}
+		results, err := evalGridPoints(points, workloadTraceID(name, "addr", cfg), tr, raw, cfg)
+		if err != nil {
+			return err
+		}
+		for k, res := range results {
+			out.AddRow(name, points[k].tc.Name(), 100*res.EnergyRemoved())
 		}
 		return nil
 	})

@@ -145,6 +145,26 @@ func (c *sfMemo[K, V]) Do(key K, compute func() (V, error)) (V, error) {
 	}
 }
 
+// Peek returns the completed entry for key without blocking and without
+// starting a computation on a miss. An in-flight entry is reported as
+// absent: the caller is batching misses into one grid evaluation, and
+// waiting on another request's leader would serialize exactly the work
+// the batch exists to fuse. A found entry counts as a hit and is touched
+// in the LRU, so Peek-then-store traffic ages the cache the same way Do
+// traffic does; a miss counts nothing — the caller re-enters through Do
+// to publish the batched result, and that call records the miss.
+func (c *sfMemo[K, V]) Peek(key K) (V, error, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && e.done {
+		c.hits.Add(1)
+		c.lru.MoveToFront(e.elem)
+		return e.val, e.err, true
+	}
+	var zero V
+	return zero, nil, false
+}
+
 // Forget drops the entry for key if its computation has completed. Do
 // already un-caches context errors on its own; Forget covers any other
 // failure a caller knows to be non-deterministic, which would otherwise

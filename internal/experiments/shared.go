@@ -138,6 +138,64 @@ func evalResultKeyed(ev *coding.Evaluator, tc coding.Transcoder, id traceID, lam
 	return res, err
 }
 
+// gridPoint is one (transcoder, Λ) cell of a sweep family evaluated on a
+// single trace.
+type gridPoint struct {
+	tc     coding.Transcoder
+	lambda float64
+}
+
+// evalGridPoints evaluates a whole family of sweep points on one trace,
+// preserving the per-point result-memo contract of evalResult: memoized
+// points are served from the cache (Peek — a hit), and every miss is
+// batched into a single coding.EvaluateGrid pass over the trace, which
+// fans equal-config points out from one encode and bit-slices the
+// stateless coders. Each grid result is then published through the memo
+// under its own key (recording the miss), so scalar and grid callers
+// share one cache and identical hit/miss accounting. Results are
+// bit-identical to per-point evalResult calls — the grid engine is
+// differentially tested against the scalar evaluator cell by cell.
+func evalGridPoints(points []gridPoint, id traceID, tr []uint64, raw *bus.Meter, cfg Config) ([]coding.Result, error) {
+	out := make([]coding.Result, len(points))
+	keys := make([]resultKey, len(points))
+	var missIdx []int
+	var cells []coding.GridCell
+	for i, p := range points {
+		keys[i] = resultKey{config: coding.ConfigKey(p.tc), trace: id, lambda: p.lambda, verify: cfg.Verify.String()}
+		if res, err, ok := resultMemo.Peek(keys[i]); ok {
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+			continue
+		}
+		missIdx = append(missIdx, i)
+		cells = append(cells, coding.GridCell{T: p.tc, Lambda: p.lambda})
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	results, err := coding.EvaluateGrid(cells, tr, raw, cfg.Verify)
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missIdx {
+		res := results[j]
+		// Cells of one config group share a coded meter; detach each
+		// retained copy, exactly as evalResultKeyed does on a miss.
+		res.Coded = res.Coded.Clone()
+		// Duplicate keys inside one family (e.g. Figure 15's λN=1 point
+		// coinciding with the λ1 family) collapse here: the first Do
+		// stores, the second hits the fresh entry.
+		stored, err := resultMemo.Do(keys[i], func() (coding.Result, error) { return res, nil })
+		if err != nil {
+			return nil, err
+		}
+		out[i] = stored
+	}
+	return out, nil
+}
+
 // evalResult is evalResultKeyed for callers that already hold the trace
 // and its raw meter.
 func evalResult(ev *coding.Evaluator, tc coding.Transcoder, id traceID, tr []uint64, lambda float64, raw *bus.Meter, cfg Config) (coding.Result, error) {

@@ -96,6 +96,10 @@ func NewEngine(store *Store, workers, queueDepth int) *Engine {
 		queueDepth = 4 * MaxItems
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	perItem := runtime.GOMAXPROCS(0) / workers
+	if perItem < 1 {
+		perItem = 1
+	}
 	return &Engine{
 		store:   store,
 		workers: workers,
@@ -111,14 +115,19 @@ func NewEngine(store *Store, workers, queueDepth int) *Engine {
 			}
 			return resp, nil
 		},
-		runExperiment: defaultRunExperiment,
+		runExperiment: func(ctx context.Context, it Item) (interface{}, error) {
+			return defaultRunExperiment(ctx, it, perItem)
+		},
 	}
 }
 
 // defaultRunExperiment runs one registered experiment with the same
 // sampled-verification default the serving layer uses for /v1/eval
-// (results are bit-identical under every policy).
-func defaultRunExperiment(ctx context.Context, it Item) (interface{}, error) {
+// (results are bit-identical under every policy). parallel is the item's
+// share of the machine: with the worker pool sized at a fraction of
+// GOMAXPROCS, each item's grid sweeps may shard across the spare cores
+// without the pool as a whole oversubscribing the box.
+func defaultRunExperiment(ctx context.Context, it Item, parallel int) (interface{}, error) {
 	cfg := experiments.DefaultConfig()
 	if it.Quick {
 		cfg = experiments.QuickConfig()
@@ -128,6 +137,7 @@ func defaultRunExperiment(ctx context.Context, it Item) (interface{}, error) {
 		return nil, err
 	}
 	cfg.Verify = policy
+	cfg.Parallel = parallel
 	return experiments.RunContext(ctx, it.Experiment, cfg)
 }
 

@@ -85,10 +85,10 @@ func TestParseSpecRejects(t *testing.T) {
 }
 
 func TestDefaultRunExperiment(t *testing.T) {
-	if _, err := defaultRunExperiment(context.Background(), Item{Kind: "experiment", Experiment: "figXX", Quick: true}); err == nil {
+	if _, err := defaultRunExperiment(context.Background(), Item{Kind: "experiment", Experiment: "figXX", Quick: true}, 1); err == nil {
 		t.Fatal("unknown experiment id must error")
 	}
-	out, err := defaultRunExperiment(context.Background(), Item{Kind: "experiment", Experiment: "table3", Quick: true})
+	out, err := defaultRunExperiment(context.Background(), Item{Kind: "experiment", Experiment: "table3", Quick: true}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -61,7 +61,9 @@ type histogram struct {
 	total  atomic.Uint64
 }
 
-func newHistogram() *histogram { return &histogram{counts: make([]atomic.Uint64, len(durationBuckets))} }
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(durationBuckets))}
+}
 
 func (h *histogram) observe(d time.Duration) {
 	s := d.Seconds()
