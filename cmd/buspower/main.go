@@ -9,8 +9,12 @@
 //	buspower -exp all -o results/ -jobs 8 -v
 //	buspower -exp all -trace-cache /tmp/traces
 //	buspower -exp all -verify full
-//	buspower bench -quick -out results/BENCH_PR7.json
+//	buspower bench -quick -out results/BENCH_PR8.json
 //	buspower serve -addr :8080 -workers 8
+//	buspower serve -addr :8081 -self n1 -peers n0=http://h0:8080,n1=http://h1:8081
+//	buspower eval -server http://localhost:8080 -scheme gray -random 10000
+//	buspower job -server http://localhost:8080 -suite table3,fig15 -watch
+//	buspower loadtest -servers http://h0:8080,http://h1:8081 -c 64 -duration 15s
 //
 // Experiments run concurrently on a bounded worker pool (-jobs, default
 // GOMAXPROCS) with deterministic output: the printed TSVs are
@@ -43,12 +47,23 @@
 // The serve subcommand exposes the same memoized evaluation engine as an
 // HTTP JSON API (POST /v1/eval, plus /v1/schemes, /v1/workloads,
 // /healthz and Prometheus-format /metrics); see "Serving" in README.md.
+// With -self/-peers, replicas form a static consistent-hash cache group:
+// each request key has owner replicas, non-owners fetch cached results
+// over the internal /v1/peer API before computing locally, and any peer
+// failure degrades to local compute (see "Serving topology" in README.md).
 // Batches and whole experiment suites run asynchronously behind
 // POST /v1/jobs: jobs are content-addressed, drained by a dedicated
 // worker pool, observable via GET /v1/jobs/{id} (or the SSE stream at
 // /v1/jobs/{id}/events), cancellable via DELETE, and journaled under
 // -jobs-dir so completed results survive restarts; see "Jobs API" in
 // README.md.
+//
+// The eval and job subcommands are remote clients for a running server,
+// built on the typed SDK (pkg/buspowersdk): eval runs one synchronous
+// evaluation; job submits, lists, watches (SSE) and cancels async jobs.
+// The loadtest subcommand measures closed-loop warm-path throughput
+// against one server or a whole shard group and writes a JSON report
+// that records the machine context next to the numbers.
 package main
 
 import (
@@ -70,19 +85,21 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "bench" {
-		if err := runBench(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "buspower bench:", err)
-			os.Exit(1)
-		}
-		return
+	subcommands := map[string]func([]string) error{
+		"bench":    runBench,
+		"serve":    runServe,
+		"eval":     runEval,
+		"job":      runJob,
+		"loadtest": runLoadtest,
 	}
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		if err := runServe(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "buspower serve:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		if sub, ok := subcommands[os.Args[1]]; ok {
+			if err := sub(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "buspower %s: %v\n", os.Args[1], err)
+				os.Exit(1)
+			}
+			return
 		}
-		return
 	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "buspower:", err)
@@ -138,8 +155,9 @@ func runBench(args []string) error {
 	var (
 		quick     = fs.Bool("quick", false, "short per-kernel benchmark budget (CI smoke); skips the full-scale e2e phase")
 		skipE2E   = fs.Bool("skip-e2e", false, "skip the end-to-end -exp all -quick timing")
-		out       = fs.String("out", "results/BENCH_PR7.json", "write the JSON report to this file ('-' for stdout)")
+		out       = fs.String("out", "results/BENCH_PR8.json", "write the JSON report to this file ('-' for stdout)")
 		baseline  = fs.String("baseline", "", "previous report to embed baseline numbers and speedups from")
+		note      = fs.String("note", "", "free-form context recorded in the report (machine caveats, why the run was taken)")
 		benchtime = fs.Duration("benchtime", 0, "per-kernel time budget (0 = 500ms, or 30ms with -quick)")
 		minRatio  = fs.Float64("min-throughput-ratio", 0, "fail unless suite throughput ÷ baseline throughput ≥ this (requires -baseline; 0 disables)")
 		quiet     = fs.Bool("q", false, "suppress per-kernel progress on stderr")
@@ -148,7 +166,7 @@ func runBench(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := bench.Options{Quick: *quick, SkipE2E: *skipE2E, BenchTime: *benchtime}
+	opts := bench.Options{Quick: *quick, SkipE2E: *skipE2E, BenchTime: *benchtime, Note: *note}
 	if *baseline != "" {
 		base, err := bench.Load(*baseline)
 		if err != nil {

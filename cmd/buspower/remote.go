@@ -1,0 +1,203 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"buspower/pkg/buspowersdk"
+)
+
+// The remote subcommands: `buspower eval` and `buspower job` drive a
+// running server through the typed SDK — the same client external
+// tooling uses, so the CLI exercises the supported path, not a private
+// one.
+
+// newRemoteClient builds the SDK client shared by the remote
+// subcommands.
+func newRemoteClient(server string, retries int) (*buspowersdk.Client, error) {
+	return buspowersdk.New(server, buspowersdk.WithRetries(retries))
+}
+
+// parseValuesList parses the -values flag: comma-separated uint64s.
+func parseValuesList(s string) ([]uint64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]uint64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -values entry %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// printJSON renders v as indented JSON on stdout.
+func printJSON(v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+// runEval implements `buspower eval`: one synchronous remote
+// evaluation.
+func runEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	var (
+		server   = fs.String("server", "http://localhost:8080", "buspower server base URL")
+		scheme   = fs.String("scheme", "", "coding scheme spec, e.g. window:entries=8 (required)")
+		workload = fs.String("workload", "", "registered benchmark name (with -bus)")
+		bus      = fs.String("bus", "reg", "workload bus: reg, mem or addr")
+		random   = fs.Int("random", 0, "evaluate the shared random trace of this length")
+		values   = fs.String("values", "", "inline trace as comma-separated values")
+		lambda   = fs.Float64("lambda", 0, "coupling ratio Λ (0 = server default)")
+		verify   = fs.String("verify", "", "verification policy: full, sampled[:N] or off")
+		quick    = fs.Bool("quick", false, "reduced workload simulation bounds")
+		retries  = fs.Int("retries", 3, "transient-failure retries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scheme == "" {
+		return fmt.Errorf("-scheme is required")
+	}
+	vals, err := parseValuesList(*values)
+	if err != nil {
+		return err
+	}
+	req := buspowersdk.EvalRequest{
+		Scheme: *scheme,
+		Random: *random,
+		Values: vals,
+		Lambda: *lambda,
+		Verify: *verify,
+		Quick:  *quick,
+	}
+	if *workload != "" {
+		req.Workload, req.Bus = *workload, *bus
+	}
+	c, err := newRemoteClient(*server, *retries)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	resp, err := c.Eval(ctx, req)
+	if err != nil {
+		return err
+	}
+	return printJSON(resp)
+}
+
+// runJob implements `buspower job`: submit, inspect, watch and cancel
+// async batch jobs.
+func runJob(args []string) error {
+	fs := flag.NewFlagSet("job", flag.ContinueOnError)
+	var (
+		server   = fs.String("server", "http://localhost:8080", "buspower server base URL")
+		suite    = fs.String("suite", "", "submit: run these experiment ids (comma-separated; 'all' = every one)")
+		quick    = fs.Bool("quick", false, "submit: reduced simulation bounds for -suite")
+		reqsFile = fs.String("requests", "", "submit: JSON file holding an array of eval requests ('-' = stdin)")
+		get      = fs.String("get", "", "fetch one job by id")
+		cancel   = fs.String("cancel", "", "cancel one job by id")
+		list     = fs.Bool("list", false, "list resident jobs")
+		watch    = fs.Bool("watch", false, "after submit (or with -get): stream events until the job finishes")
+		retries  = fs.Int("retries", 3, "transient-failure retries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := newRemoteClient(*server, *retries)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	watchTo := func(id string) error {
+		final, err := c.WatchJob(ctx, id, func(ev buspowersdk.Event) {
+			switch ev.Type {
+			case "item":
+				fmt.Fprintf(os.Stderr, "job %s: item %d %s (%d/%d done)\n", ev.JobID, ev.Index, ev.Item.Status, ev.Progress.Done, ev.Progress.Total)
+			default:
+				fmt.Fprintf(os.Stderr, "job %s: %s\n", ev.JobID, ev.State)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		return printJSON(final)
+	}
+
+	switch {
+	case *list:
+		jobs, err := c.Jobs(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(jobs)
+	case *get != "":
+		if *watch {
+			return watchTo(*get)
+		}
+		j, err := c.Job(ctx, *get)
+		if err != nil {
+			return err
+		}
+		return printJSON(j)
+	case *cancel != "":
+		j, err := c.CancelJob(ctx, *cancel)
+		if err != nil {
+			return err
+		}
+		return printJSON(j)
+	case *suite != "" || *reqsFile != "":
+		var spec buspowersdk.JobSpec
+		if *suite != "" {
+			spec.Suite = &buspowersdk.SuiteSpec{Experiments: *suite, Quick: *quick}
+		}
+		if *reqsFile != "" {
+			var data []byte
+			var err error
+			if *reqsFile == "-" {
+				data, err = io.ReadAll(os.Stdin)
+			} else {
+				data, err = os.ReadFile(*reqsFile)
+			}
+			if err != nil {
+				return err
+			}
+			if err := json.Unmarshal(data, &spec.Requests); err != nil {
+				return fmt.Errorf("parsing %s: %v", *reqsFile, err)
+			}
+		}
+		j, created, err := c.SubmitJob(ctx, spec)
+		if err != nil {
+			return err
+		}
+		if created {
+			fmt.Fprintf(os.Stderr, "job %s accepted (%d items)\n", j.ID, j.Progress.Total)
+		} else {
+			fmt.Fprintf(os.Stderr, "job %s already known (state %s)\n", j.ID, j.State)
+		}
+		if *watch {
+			return watchTo(j.ID)
+		}
+		return printJSON(j)
+	default:
+		return fmt.Errorf("nothing to do: use -suite/-requests to submit, or -get/-list/-cancel")
+	}
+}

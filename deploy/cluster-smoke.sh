@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Three-replica shard-group smoke test: starts a ring of buspower
+# servers as plain processes (same topology the docker-compose file
+# wires up), proves cross-replica routing works, kills one replica
+# mid-run, and asserts the survivors keep answering byte-identically
+# while the peer-fetch / fallback counters move. Exits non-zero on any
+# divergence.
+#
+# Usage: deploy/cluster-smoke.sh [path-to-buspower-binary]
+set -euo pipefail
+
+BIN=${1:-/tmp/buspower}
+BASE_PORT=${BASE_PORT:-8461}
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+PEERS=""
+for i in 0 1 2; do
+  PEERS+="${PEERS:+,}n$i=http://127.0.0.1:$((BASE_PORT + i))"
+done
+
+start_replica() { # $1 = index
+  "$BIN" serve -addr "127.0.0.1:$((BASE_PORT + $1))" -self "n$1" -peers "$PEERS" \
+    -workers 2 -peer-timeout 2s -no-disk-cache -quiet-access-log \
+    >"$WORK/n$1.log" 2>&1 &
+  PIDS[$1]=$!
+}
+
+for i in 0 1 2; do start_replica "$i"; done
+for i in 0 1 2; do
+  for _ in $(seq 1 50); do
+    curl -sf "http://127.0.0.1:$((BASE_PORT + i))/healthz" >/dev/null && break
+    sleep 0.2
+  done
+  curl -sf "http://127.0.0.1:$((BASE_PORT + i))/healthz" | grep -q '"ok"'
+done
+echo "ring up: $PEERS"
+
+# A spread of requests: enough distinct keys that every replica owns
+# some and peer-fetches others.
+bodies=()
+for n in $(seq 1 12); do
+  bodies+=("{\"random\":$((n * 500)),\"scheme\":\"gray\"}")
+  bodies+=("{\"random\":$((n * 500)),\"scheme\":\"businvert\"}")
+done
+
+# Phase 1: every request through every replica must answer 200 with one
+# byte-identical payload per body.
+for b in "${bodies[@]}"; do
+  ref=""
+  for i in 0 1 2; do
+    resp=$(curl -sf -X POST "http://127.0.0.1:$((BASE_PORT + i))/v1/eval" -d "$b")
+    if [ -z "$ref" ]; then ref="$resp"
+    elif [ "$resp" != "$ref" ]; then
+      echo "FAIL: replica n$i diverged on $b" >&2
+      exit 1
+    fi
+  done
+done
+echo "phase 1 ok: ${#bodies[@]} bodies x 3 replicas byte-identical"
+
+# Routing must actually have crossed the ring: some replica peer-fetched.
+hits=0
+for i in 0 1 2; do
+  h=$(curl -sf "http://127.0.0.1:$((BASE_PORT + i))/metrics" |
+    awk '/^buspower_peer_fetch_total\{kind="eval",result="hit"\}/ {s+=$2} END {print s+0}')
+  hits=$((hits + h))
+done
+if [ "$hits" -eq 0 ]; then
+  echo "FAIL: no peer fetch ever happened (hits=$hits); routing is not crossing replicas" >&2
+  exit 1
+fi
+echo "phase 1 peer-fetch hits across ring: $hits"
+
+# Phase 2: kill n2 mid-run, then push FRESH keys (never seen, so no
+# replica has them cached) through the two survivors. Keys n2 owned
+# must degrade to local compute — same bytes, no errors — and the
+# fallback counters must move to prove the dead replica was actually
+# consulted and survived.
+kill "${PIDS[2]}" 2>/dev/null
+wait "${PIDS[2]}" 2>/dev/null || true
+unset 'PIDS[2]'
+echo "killed n2"
+
+fresh=()
+for n in $(seq 1 12); do
+  fresh+=("{\"random\":$((n * 500 + 101)),\"scheme\":\"gray\"}")
+  fresh+=("{\"random\":$((n * 500 + 101)),\"scheme\":\"businvert\"}")
+done
+for b in "${fresh[@]}"; do
+  ref=""
+  for i in 0 1; do
+    resp=$(curl -sf -X POST "http://127.0.0.1:$((BASE_PORT + i))/v1/eval" -d "$b")
+    if [ -z "$ref" ]; then ref="$resp"
+    elif [ "$resp" != "$ref" ]; then
+      echo "FAIL: survivor n$i diverged on $b after n2 died" >&2
+      exit 1
+    fi
+  done
+done
+echo "phase 2 ok: ${#fresh[@]} fresh bodies byte-identical across survivors with n2 dead"
+
+falls=0
+for i in 0 1; do
+  f=$(curl -sf "http://127.0.0.1:$((BASE_PORT + i))/metrics" |
+    awk '/^buspower_cluster_eval_total\{path="fallback"\}/ {s+=$2} END {print s+0}')
+  falls=$((falls + f))
+done
+if [ "$falls" -eq 0 ]; then
+  echo "FAIL: no fallback recorded — the dead replica's keys never degraded through the peer path" >&2
+  exit 1
+fi
+echo "phase 2 fallbacks across survivors: $falls"
+
+echo "cluster smoke passed"

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 )
 
@@ -102,14 +103,38 @@ type Report struct {
 	GOARCH     string `json:"goarch"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
-	Quick      bool   `json:"quick"`
+	// CPUModel is the host CPU's model string (best effort; empty when
+	// the platform doesn't expose one). Speedups between reports from
+	// different CPU models measure the machines, not the code.
+	CPUModel string `json:"cpu_model,omitempty"`
+	Quick    bool   `json:"quick"`
+	// Note is free-form context recorded with the run — why it was
+	// taken, what the numbers should be read against.
+	Note string `json:"note,omitempty"`
 
 	Kernels []KernelResult `json:"kernels"`
 	E2E     *E2EResult     `json:"e2e,omitempty"`
 
 	// BaselineCreated is the timestamp of the report the speedups were
-	// computed against, when one was supplied.
-	BaselineCreated string `json:"baseline_created,omitempty"`
+	// computed against, when one was supplied; BaselineNumCPU and
+	// BaselineCPUModel flag cross-machine comparisons.
+	BaselineCreated  string `json:"baseline_created,omitempty"`
+	BaselineNumCPU   int    `json:"baseline_num_cpu,omitempty"`
+	BaselineCPUModel string `json:"baseline_cpu_model,omitempty"`
+}
+
+// cpuModel reads the host CPU model string where the OS exposes one.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
 }
 
 // kernelReps is how many times each kernel benchmark runs; the report
@@ -129,6 +154,8 @@ type Options struct {
 	SkipE2E bool
 	// Baseline, when non-nil, is a previous Report to compare against.
 	Baseline *Report
+	// Note is free-form context copied into the report.
+	Note string
 	// Progress, when non-nil, receives one line per finished measurement.
 	Progress func(string)
 }
@@ -148,14 +175,16 @@ func (o Options) benchTime() time.Duration {
 // assembles the report.
 func Run(opts Options) (*Report, error) {
 	r := &Report{
-		Schema:     1,
+		Schema:     2,
 		Created:    time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
 		Quick:      opts.Quick,
+		Note:       opts.Note,
 	}
 	budget := opts.benchTime()
 	for _, k := range Kernels() {
@@ -221,6 +250,8 @@ func Run(opts Options) (*Report, error) {
 // compare fills baseline numbers and speedups from a previous report.
 func (r *Report) compare(base *Report) {
 	r.BaselineCreated = base.Created
+	r.BaselineNumCPU = base.NumCPU
+	r.BaselineCPUModel = base.CPUModel
 	prev := make(map[string]KernelResult, len(base.Kernels))
 	for _, k := range base.Kernels {
 		prev[k.Name] = k

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PeerHeader marks a request as replica-internal: the peer handlers
+// require it, and the eval router never peer-routes a request carrying
+// it, so a fetch can never loop back through the ring.
+const PeerHeader = "X-Buspower-Peer"
+
+// ChecksumHeader carries the FNV-1a 64 checksum (hex) of a peer
+// response body, the same hash discipline the BUSTRC containers and the
+// job journal use. The fetching side recomputes it before trusting the
+// payload, so a truncated or proxied-and-mangled transfer degrades to a
+// local recompute instead of a wrong answer.
+const ChecksumHeader = "X-Buspower-Checksum"
+
+// BodyChecksum computes the peer-transfer checksum of body.
+func BodyChecksum(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// ErrPeerMiss reports that the owner answered authoritatively but has
+// no copy (trace fetches: the owner's disk cache lacks the key).
+var ErrPeerMiss = errors.New("cluster: peer does not hold the key")
+
+// PeerStats is a point-in-time snapshot of the fetch counters, split by
+// transfer kind. Hits are completed validated transfers; misses are
+// authoritative "not here" answers; timeouts are fetches that ran out
+// of PeerTimeout; errors cover everything else (connection refused,
+// non-2xx, checksum mismatch, oversize). Every non-hit outcome
+// degrades to local recomputation at the caller.
+type PeerStats struct {
+	EvalHits, EvalMisses, EvalTimeouts, EvalErrors     uint64
+	TraceHits, TraceMisses, TraceTimeouts, TraceErrors uint64
+	Coalesced                                          uint64
+}
+
+// PeerClient fetches owned state from ring peers. Concurrent fetches
+// for the same key coalesce into one HTTP round trip (single-flight),
+// mirroring the in-process memos: under a thundering herd the owner
+// sees one request per key per replica, not one per caller.
+type PeerClient struct {
+	httpc   *http.Client
+	selfID  string
+	timeout time.Duration
+	maxBody int64
+
+	mu       sync.Mutex
+	inflight map[string]*peerCall
+
+	evalHits, evalMisses, evalTimeouts, evalErrors     atomic.Uint64
+	traceHits, traceMisses, traceTimeouts, traceErrors atomic.Uint64
+	coalesced                                          atomic.Uint64
+}
+
+type peerCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// DefaultPeerTimeout bounds one peer fetch; anything slower than this
+// is slower than recomputing a warm result locally.
+const DefaultPeerTimeout = 2 * time.Second
+
+// DefaultPeerMaxBody caps a peer transfer. Trace containers are the
+// large case: three 120k-value sections ≈ 3 MiB; 32 MiB leaves head
+// room for full-mode captures without letting a confused peer stream
+// unbounded data.
+const DefaultPeerMaxBody = 32 << 20
+
+// NewPeerClient builds a fetch client identifying itself as selfID.
+// timeout and maxBody default when <= 0.
+func NewPeerClient(selfID string, timeout time.Duration, maxBody int64) *PeerClient {
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	if maxBody <= 0 {
+		maxBody = DefaultPeerMaxBody
+	}
+	return &PeerClient{
+		httpc: &http.Client{
+			// The per-fetch context carries the deadline; the client-level
+			// timeout is a backstop against leaked body reads.
+			Timeout: timeout + time.Second,
+		},
+		selfID:   selfID,
+		timeout:  timeout,
+		maxBody:  maxBody,
+		inflight: map[string]*peerCall{},
+	}
+}
+
+// FetchEval asks owner for the evaluation response of the canonical
+// request body keyed by key. The returned bytes are the owner's
+// marshalled EvalResponse, checksum-verified.
+func (c *PeerClient) FetchEval(ctx context.Context, owner Node, key string, body []byte) ([]byte, error) {
+	data, err := c.single("eval/"+owner.ID+"/"+key, func() ([]byte, error) {
+		return c.roundTrip(ctx, http.MethodPost, owner.URL+"/v1/peer/eval", body)
+	})
+	c.count(err, &c.evalHits, &c.evalMisses, &c.evalTimeouts, &c.evalErrors)
+	return data, err
+}
+
+// FetchTrace asks owner for the BUSTRC container stored under the
+// trace-cache content address key. The container carries its own
+// trailing FNV checksum, which the storing side verifies by parsing;
+// the transfer-level checksum header is still enforced here so a torn
+// body is rejected before it is ever written to disk.
+func (c *PeerClient) FetchTrace(ctx context.Context, owner Node, key string) ([]byte, error) {
+	data, err := c.single("trace/"+owner.ID+"/"+key, func() ([]byte, error) {
+		return c.roundTrip(ctx, http.MethodGet, owner.URL+"/v1/peer/trace/"+key, nil)
+	})
+	c.count(err, &c.traceHits, &c.traceMisses, &c.traceTimeouts, &c.traceErrors)
+	return data, err
+}
+
+// single coalesces concurrent fetches for the same key. Followers share
+// the leader's result; the leader's context governs the round trip
+// (followers arriving during the flight accepted that when they
+// coalesced — exactly the trade the eval memo makes).
+func (c *PeerClient) single(key string, fn func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		<-call.done
+		return call.data, call.err
+	}
+	call := &peerCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	call.data, call.err = fn()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(call.done)
+	return call.data, call.err
+}
+
+// roundTrip performs one checksum-verified, size-capped transfer.
+func (c *PeerClient) roundTrip(ctx context.Context, method, url string, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(PeerHeader, c.selfID)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, ErrPeerMiss
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cluster: peer %s answered %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, c.maxBody+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > c.maxBody {
+		return nil, fmt.Errorf("cluster: peer response exceeds %d bytes", c.maxBody)
+	}
+	if want := resp.Header.Get(ChecksumHeader); want != "" && want != BodyChecksum(data) {
+		return nil, fmt.Errorf("cluster: peer response checksum mismatch")
+	}
+	return data, nil
+}
+
+// count classifies one fetch outcome into the right counter family.
+func (c *PeerClient) count(err error, hits, misses, timeouts, errs *atomic.Uint64) {
+	switch {
+	case err == nil:
+		hits.Add(1)
+	case errors.Is(err, ErrPeerMiss):
+		misses.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		timeouts.Add(1)
+	default:
+		errs.Add(1)
+	}
+}
+
+// Stats snapshots the fetch counters (wait-free).
+func (c *PeerClient) Stats() PeerStats {
+	return PeerStats{
+		EvalHits:      c.evalHits.Load(),
+		EvalMisses:    c.evalMisses.Load(),
+		EvalTimeouts:  c.evalTimeouts.Load(),
+		EvalErrors:    c.evalErrors.Load(),
+		TraceHits:     c.traceHits.Load(),
+		TraceMisses:   c.traceMisses.Load(),
+		TraceTimeouts: c.traceTimeouts.Load(),
+		TraceErrors:   c.traceErrors.Load(),
+		Coalesced:     c.coalesced.Load(),
+	}
+}

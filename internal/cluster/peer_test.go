@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPeerFetchEvalChecksum(t *testing.T) {
+	body := []byte(`{"energy_removed_pct":42}`)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(PeerHeader) != "me" {
+			t.Errorf("peer header = %q", r.Header.Get(PeerHeader))
+		}
+		w.Header().Set(ChecksumHeader, BodyChecksum(body))
+		w.Write(body)
+	}))
+	defer srv.Close()
+	c := NewPeerClient("me", time.Second, 0)
+	got, err := c.FetchEval(context.Background(), Node{ID: "peer", URL: srv.URL}, "k1", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(body) {
+		t.Fatalf("got %q", got)
+	}
+	if s := c.Stats(); s.EvalHits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPeerFetchChecksumMismatch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(ChecksumHeader, "deadbeef")
+		w.Write([]byte("torn payload"))
+	}))
+	defer srv.Close()
+	c := NewPeerClient("me", time.Second, 0)
+	if _, err := c.FetchEval(context.Background(), Node{ID: "p", URL: srv.URL}, "k", nil); err == nil {
+		t.Fatal("mismatched checksum accepted")
+	}
+	if s := c.Stats(); s.EvalErrors != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPeerFetchMissAndSizeCap(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/peer/trace/absent" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(make([]byte, 2048))
+	}))
+	defer srv.Close()
+	c := NewPeerClient("me", time.Second, 1024)
+	n := Node{ID: "p", URL: srv.URL}
+	if _, err := c.FetchTrace(context.Background(), n, "absent"); !errors.Is(err, ErrPeerMiss) {
+		t.Fatalf("want ErrPeerMiss, got %v", err)
+	}
+	if _, err := c.FetchTrace(context.Background(), n, "huge"); err == nil {
+		t.Fatal("oversize body accepted")
+	}
+	if s := c.Stats(); s.TraceMisses != 1 || s.TraceErrors != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPeerFetchTimeout(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+	c := NewPeerClient("me", 30*time.Millisecond, 0)
+	_, err := c.FetchEval(context.Background(), Node{ID: "p", URL: srv.URL}, "k", nil)
+	if err == nil {
+		t.Fatal("timeout produced no error")
+	}
+	if s := c.Stats(); s.EvalTimeouts != 1 {
+		t.Fatalf("stats = %+v (err %v)", s, err)
+	}
+}
+
+func TestPeerFetchDeadPeer(t *testing.T) {
+	// A peer that is simply down must fail fast as an error, the state
+	// the router degrades to local recomputation on.
+	c := NewPeerClient("me", 200*time.Millisecond, 0)
+	_, err := c.FetchEval(context.Background(), Node{ID: "p", URL: "http://127.0.0.1:1"}, "k", nil)
+	if err == nil {
+		t.Fatal("dead peer produced no error")
+	}
+	if s := c.Stats(); s.EvalErrors != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPeerFetchSingleFlight(t *testing.T) {
+	var served atomic.Int64
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		<-release
+		w.Write([]byte("shared"))
+	}))
+	defer srv.Close()
+	c := NewPeerClient("me", time.Second, 0)
+	n := Node{ID: "p", URL: srv.URL}
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]string, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, err := c.FetchEval(context.Background(), n, "same-key", nil)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			results[i] = string(data)
+		}(i)
+	}
+	// Wait until the leader is inside the handler, then release it.
+	for served.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let followers coalesce
+	close(release)
+	wg.Wait()
+	if got := served.Load(); got != 1 {
+		t.Fatalf("owner served %d requests, want 1", got)
+	}
+	for i, r := range results {
+		if r != "shared" {
+			t.Fatalf("caller %d got %q", i, r)
+		}
+	}
+	if s := c.Stats(); s.Coalesced == 0 {
+		t.Fatalf("no coalesced fetches recorded: %+v", s)
+	}
+}

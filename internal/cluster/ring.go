@@ -1,0 +1,178 @@
+// Package cluster is the static-topology sharding layer behind
+// multi-replica serving: a consistent-hash ring with virtual nodes maps
+// every canonical request key (eval-request SHA-256, trace-cache
+// content address) to the replica that owns it, and a peer-fetch client
+// transfers the owner's memoized eval results and cached trace
+// containers to replicas that miss locally — spread the expensive
+// state, fetch the owned copy instead of recomputing. The topology is
+// static (every replica is configured with the full member list); a
+// dead peer degrades each fetch to local recomputation, never to an
+// error.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Node is one ring member.
+type Node struct {
+	// ID is the replica's stable name in the topology (the ring hashes
+	// it, so renaming a replica moves its shard slice).
+	ID string
+	// URL is the replica's base HTTP URL, e.g. "http://replica1:8080".
+	URL string
+}
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node int // index into Ring.nodes
+}
+
+// Ring is an immutable consistent-hash ring: n nodes × vnodes virtual
+// points, each key owned by the first rf distinct nodes clockwise from
+// the key's hash. Immutability makes lookups lock-free; topology
+// changes build a new Ring.
+type Ring struct {
+	nodes  []Node
+	points []point
+	vnodes int
+	rf     int
+}
+
+// DefaultVNodes balances ownership evenness (±a few percent at 3
+// replicas) against ring-build cost.
+const DefaultVNodes = 128
+
+// NewRing builds a ring over nodes with the given virtual-node count
+// and replication factor. rf is clamped to the node count; vnodes and
+// rf default when <= 0.
+func NewRing(nodes []Node, vnodes, rf int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if rf <= 0 {
+		rf = 1
+	}
+	if rf > len(nodes) {
+		rf = len(nodes)
+	}
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n.ID == "" {
+			return nil, fmt.Errorf("cluster: ring node with empty id")
+		}
+		if seen[n.ID] {
+			return nil, fmt.Errorf("cluster: duplicate ring node id %q", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	r := &Ring{nodes: append([]Node(nil), nodes...), vnodes: vnodes, rf: rf}
+	r.points = make([]point, 0, len(nodes)*vnodes)
+	for i, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hashString(n.ID + "#" + strconv.Itoa(v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A full 64-bit hash collision between virtual nodes is
+		// vanishingly rare; break it by node index so the order (and
+		// therefore ownership) is still deterministic.
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// hashString is FNV-1a 64 — the repo's checksum discipline, fast and
+// deterministic across replicas and restarts.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// KeyHash exposes the ring's key hash (for tests and diagnostics).
+func KeyHash(key string) uint64 { return hashString(key) }
+
+// Owner returns the primary owner of key.
+func (r *Ring) Owner(key string) Node { return r.Owners(key)[0] }
+
+// Owners returns the key's replica set: the first ReplicationFactor
+// distinct nodes clockwise from the key's hash, primary first.
+func (r *Ring) Owners(key string) []Node {
+	h := hashString(key)
+	// First point with hash >= h, wrapping at the top of the ring.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]Node, 0, r.rf)
+	for n := 0; n < len(r.points) && len(out) < r.rf; n++ {
+		p := r.points[(i+n)%len(r.points)]
+		dup := false
+		for _, o := range out {
+			if o.ID == r.nodes[p.node].ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// Owns reports whether id is in key's replica set.
+func (r *Ring) Owns(id, key string) bool {
+	for _, n := range r.Owners(key) {
+		if n.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Nodes returns the ring members in configuration order.
+func (r *Ring) Nodes() []Node { return append([]Node(nil), r.nodes...) }
+
+// VNodes returns the per-node virtual point count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// ReplicationFactor returns the effective replication factor.
+func (r *Ring) ReplicationFactor() int { return r.rf }
+
+// Ownership returns each node's owned fraction of the key space under
+// primary ownership: the summed arc lengths of the hash intervals that
+// resolve to the node, normalized to 1. The fractions feed the
+// per-replica shard-ownership gauges on /metrics.
+func (r *Ring) Ownership() map[string]float64 {
+	out := make(map[string]float64, len(r.nodes))
+	for _, n := range r.nodes {
+		out[n.ID] = 0
+	}
+	if len(r.points) == 0 {
+		return out
+	}
+	const space = float64(1 << 63) * 2 // 2^64
+	prev := r.points[len(r.points)-1].hash
+	for i, p := range r.points {
+		// Keys hashing into (prev, p.hash] land on p's node; the first
+		// interval wraps around the top of the ring.
+		var arc uint64
+		if i == 0 {
+			arc = p.hash + (^prev + 1) // p.hash - prev mod 2^64
+		} else {
+			arc = p.hash - prev
+		}
+		out[r.nodes[p.node].ID] += float64(arc) / space
+		prev = p.hash
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func testNodes(n int) []Node {
+	out := make([]Node, n)
+	for i := range out {
+		out[i] = Node{ID: fmt.Sprintf("replica%d", i+1), URL: fmt.Sprintf("http://replica%d:8080", i+1)}
+	}
+	return out
+}
+
+func testKeys(k int) []string {
+	keys := make([]string, k)
+	for i := range keys {
+		// Hex-ish strings shaped like the canonical request keys the
+		// serving layer feeds the ring.
+		keys[i] = fmt.Sprintf("sha256:%064x", i*2654435761)
+	}
+	return keys
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]Node{{ID: "a"}, {ID: "a"}}, 8, 1); err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+	if _, err := NewRing([]Node{{ID: ""}}, 8, 1); err == nil {
+		t.Fatal("empty node id accepted")
+	}
+	// rf clamps to the node count instead of failing.
+	r, err := NewRing(testNodes(2), 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ReplicationFactor(); got != 2 {
+		t.Fatalf("rf = %d, want clamped 2", got)
+	}
+}
+
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	// Every replica must derive identical ownership regardless of flag
+	// spelling; ParseTopology sorts, but the ring itself must also be a
+	// pure function of the node set.
+	nodes := testNodes(5)
+	r1, _ := NewRing(nodes, 64, 2)
+	rev := make([]Node, len(nodes))
+	for i, n := range nodes {
+		rev[len(nodes)-1-i] = n
+	}
+	r2, _ := NewRing(rev, 64, 2)
+	for _, key := range testKeys(500) {
+		a, b := r1.Owners(key), r2.Owners(key)
+		if len(a) != len(b) {
+			t.Fatalf("owner count differs for %s", key)
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("owners differ for %s: %v vs %v", key, a, b)
+			}
+		}
+	}
+}
+
+func TestRingOwnersDistinct(t *testing.T) {
+	r, _ := NewRing(testNodes(4), 32, 3)
+	for _, key := range testKeys(200) {
+		owners := r.Owners(key)
+		if len(owners) != 3 {
+			t.Fatalf("got %d owners, want 3", len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o.ID] {
+				t.Fatalf("duplicate owner %s for %s", o.ID, key)
+			}
+			seen[o.ID] = true
+		}
+		if !r.Owns(owners[0].ID, key) {
+			t.Fatalf("Owns disagrees with Owners for %s", key)
+		}
+	}
+}
+
+func TestRingOwnershipSumsToOne(t *testing.T) {
+	r, _ := NewRing(testNodes(3), DefaultVNodes, 1)
+	own := r.Ownership()
+	sum := 0.0
+	for id, frac := range own {
+		if frac <= 0 || frac >= 1 {
+			t.Fatalf("node %s owns %v of the key space", id, frac)
+		}
+		sum += frac
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ownership sums to %v, want 1", sum)
+	}
+	// With DefaultVNodes the spread should be reasonably even: no node
+	// owns less than half or more than double its fair share.
+	fair := 1.0 / 3
+	for id, frac := range own {
+		if frac < fair/2 || frac > fair*2 {
+			t.Fatalf("node %s owns %.3f, outside [%.3f, %.3f]", id, frac, fair/2, fair*2)
+		}
+	}
+}
+
+// TestRingRebalanceProperty is the consistent-hashing contract: removing
+// one replica moves only the keys that replica owned — every other key
+// keeps its primary owner, so a topology change invalidates ≤ K/N of a
+// warm fleet's cache instead of all of it.
+func TestRingRebalanceProperty(t *testing.T) {
+	const n, k = 5, 4000
+	nodes := testNodes(n)
+	full, err := NewRing(nodes, DefaultVNodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := nodes[2].ID
+	rest := make([]Node, 0, n-1)
+	for _, node := range nodes {
+		if node.ID != removed {
+			rest = append(rest, node)
+		}
+	}
+	smaller, err := NewRing(rest, DefaultVNodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keys := testKeys(k)
+	moved, wasRemoved := 0, 0
+	for _, key := range keys {
+		before, after := full.Owner(key), smaller.Owner(key)
+		if before.ID == removed {
+			wasRemoved++
+			continue
+		}
+		if before.ID != after.ID {
+			moved++
+			t.Errorf("key %s moved %s -> %s though %s was the node removed", key, before.ID, after.ID, removed)
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed node changed owner", moved)
+	}
+	// The removed node's share should be in the neighbourhood of K/N —
+	// generous bounds, since vnode placement is hash-derived.
+	if wasRemoved == 0 || wasRemoved > 2*k/n {
+		t.Fatalf("removed node owned %d of %d keys, want ~%d (≤ %d)", wasRemoved, k, k/n, 2*k/n)
+	}
+}
+
+// TestRingRebalanceReplicaSets extends the property to rf > 1: removing
+// a node only changes replica sets that contained it.
+func TestRingRebalanceReplicaSets(t *testing.T) {
+	const n, k = 5, 2000
+	nodes := testNodes(n)
+	full, _ := NewRing(nodes, DefaultVNodes, 2)
+	removed := nodes[0].ID
+	smaller, _ := NewRing(nodes[1:], DefaultVNodes, 2)
+	changed := 0
+	for _, key := range testKeys(k) {
+		before := full.Owners(key)
+		had := false
+		for _, o := range before {
+			if o.ID == removed {
+				had = true
+			}
+		}
+		after := smaller.Owners(key)
+		same := len(before) == len(after)
+		if same {
+			for i := range before {
+				if before[i].ID != after[i].ID {
+					same = false
+					break
+				}
+			}
+		}
+		if !had && !same {
+			t.Fatalf("replica set for %s changed without containing the removed node: %v -> %v", key, before, after)
+		}
+		if had {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("removed node appeared in no replica sets")
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	peers := []string{"r2=http://b:8080", "r1=http://a:8080/", "r3=http://c:8080"}
+	topo, err := ParseTopology("r2", peers, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Self.ID != "r2" || topo.Self.URL != "http://b:8080" {
+		t.Fatalf("self = %+v", topo.Self)
+	}
+	if got := len(topo.Ring.Nodes()); got != 3 {
+		t.Fatalf("ring has %d nodes, want 3", got)
+	}
+	if topo.Ring.ReplicationFactor() != 2 {
+		t.Fatalf("rf = %d", topo.Ring.ReplicationFactor())
+	}
+
+	if topo, err := ParseTopology("", nil, 0, 0); err != nil || topo != nil {
+		t.Fatalf("empty topology: %v %v", topo, err)
+	}
+	for _, bad := range [][2]interface{}{
+		{"r1", []string{"r1-http://a:8080"}},     // not id=url
+		{"r1", []string{"r1=not a url"}},         // unparseable
+		{"r9", []string{"r1=http://a:8080"}},     // self not a member
+		{"", []string{"r1=http://a:8080"}},       // peers without self
+		{"r1", []string{"r1=/relative/only"}},    // no host
+	} {
+		if _, err := ParseTopology(bad[0].(string), bad[1].([]string), 0, 0); err == nil {
+			t.Fatalf("ParseTopology(%v, %v) accepted", bad[0], bad[1])
+		}
+	}
+	if _, err := ParseTopology("r1", nil, 0, 0); err == nil {
+		t.Fatal("self without peers accepted")
+	}
+}
+
+func TestSplitPeerList(t *testing.T) {
+	got := SplitPeerList(" r1=http://a:1 , r2=http://b:2 ,")
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if SplitPeerList("  ") != nil {
+		t.Fatal("blank list should be nil")
+	}
+}

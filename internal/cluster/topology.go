@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// Topology is one replica's view of the static cluster: who it is, and
+// the ring every member agrees on. All replicas are configured with the
+// same member list (order-insensitive — the ring is built over a sorted
+// copy), so they derive identical ownership without any coordination.
+type Topology struct {
+	// Self is this replica's node (present in the ring).
+	Self Node
+	// Ring is the shared consistent-hash ring.
+	Ring *Ring
+}
+
+// ParseTopology builds a Topology from the CLI's flat flags: self is
+// this replica's id, peers the full member list as "id=url" entries
+// (self included). An empty peer list yields a nil Topology — the
+// single-replica mode every existing deployment runs in.
+func ParseTopology(self string, peers []string, vnodes, rf int) (*Topology, error) {
+	if len(peers) == 0 {
+		if self != "" {
+			return nil, fmt.Errorf("cluster: -self %q given without -peers", self)
+		}
+		return nil, nil
+	}
+	if self == "" {
+		return nil, fmt.Errorf("cluster: -peers given without -self")
+	}
+	nodes := make([]Node, 0, len(peers))
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		id, rawURL, ok := strings.Cut(p, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: peer %q is not id=url", p)
+		}
+		id, rawURL = strings.TrimSpace(id), strings.TrimSpace(rawURL)
+		u, err := url.Parse(rawURL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q has no absolute url", p)
+		}
+		nodes = append(nodes, Node{ID: id, URL: strings.TrimRight(rawURL, "/")})
+	}
+	// Sort by id so every replica builds the ring from the same sequence
+	// regardless of how its flag was spelled.
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	ring, err := NewRing(nodes, vnodes, rf)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range ring.Nodes() {
+		if n.ID == self {
+			return &Topology{Self: n, Ring: ring}, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: -self %q is not in the peer list", self)
+}
+
+// SplitPeerList parses the comma-separated -peers flag value.
+func SplitPeerList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if strings.TrimSpace(p) != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

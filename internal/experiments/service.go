@@ -263,6 +263,25 @@ func (r *EvalRequest) sourceID(width int) (traceID, string) {
 	}
 }
 
+// RequestKey derives a request's canonical cluster-wide identity: the
+// SHA-256 (hex) of its canonical JSON encoding. The request must be in
+// canonical form (as ParseEvalRequest returns); two requests describing
+// the same evaluation — however their JSON was originally spelled — get
+// the same key. The serving layer's consistent-hash ring shards the
+// eval-result state on this key, so every replica derives the same
+// owner without coordination.
+func RequestKey(req EvalRequest) (string, error) {
+	if err := req.normalize(); err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // EvaluateRequest answers one evaluation request through the shared
 // memos: the trace comes from the two-layer trace cache (workload
 // sources) or the random/inline fast paths, the raw-bus meter and the

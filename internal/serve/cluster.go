@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"buspower/internal/cluster"
+	"buspower/internal/experiments"
+	"buspower/internal/workload"
+)
+
+// The sharded-serving layer: a static consistent-hash ring assigns
+// every canonical request key a primary owner among the replicas. The
+// owner computes and memoizes; non-owners serve from a bounded local
+// response cache, filling it with single-flight peer fetches from the
+// owner instead of recomputing. Every peer failure — dead replica,
+// timeout, checksum mismatch, saturation — degrades that one request to
+// the pre-cluster local path, never to an error.
+
+// serveCluster is a Server's view of the replica topology.
+type serveCluster struct {
+	topo  *cluster.Topology
+	peers *cluster.PeerClient
+
+	// Routing outcome counters for /metrics: owned keys served through
+	// the local engine, non-owned keys served from the response cache or
+	// a peer fetch, and peer failures that fell back to local compute.
+	ownedLocal  atomic.Uint64
+	peerServed  atomic.Uint64
+	cacheServed atomic.Uint64
+	fallbacks   atomic.Uint64
+}
+
+// respCache is the serve-level response byte cache: canonical request
+// key → exact marshalled 200 response. On the key's owner it shortcuts
+// re-building the transcoder and re-marshalling on every warm hit; on
+// non-owners it holds peer-fetched copies so steady-state traffic costs
+// no peer hop. Results are deterministic in the key (the same argument
+// the eval memo rests on), so entries never expire — only LRU bounds
+// apply.
+type respCache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	limit   int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type respEntry struct {
+	key  string
+	data []byte
+}
+
+// defaultResponseCacheEntries bounds the response cache; at the ~600 B
+// a typical EvalResponse marshals to, the default costs a few MiB.
+const defaultResponseCacheEntries = 4096
+
+func newRespCache(limit int) *respCache {
+	if limit <= 0 {
+		limit = defaultResponseCacheEntries
+	}
+	return &respCache{entries: map[string]*list.Element{}, lru: list.New(), limit: limit}
+}
+
+func (c *respCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.hits.Add(1)
+		c.lru.MoveToFront(e)
+		return e.Value.(*respEntry).data, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+func (c *respCache) put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e)
+		e.Value.(*respEntry).data = data
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&respEntry{key: key, data: data})
+	for len(c.entries) > c.limit {
+		victim := c.lru.Back()
+		c.lru.Remove(victim)
+		delete(c.entries, victim.Value.(*respEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *respCache) stats() (hits, misses, evictions uint64, entries int) {
+	c.mu.Lock()
+	entries = len(c.entries)
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load(), entries
+}
+
+// evalRingKey namespaces eval-result keys on the ring so they never
+// collide with trace-container keys.
+func evalRingKey(key string) string { return "eval:" + key }
+
+// traceRingKey namespaces trace-cache content addresses on the ring.
+func traceRingKey(key string) string { return "trace:" + key }
+
+// bodyRingKey addresses a raw request body in the response cache: an
+// alias entry for the canonical key that lets byte-identical repeats
+// skip the parse/canonicalize pipeline. Never used for ring routing —
+// two bodies can canonicalize to one key — only as a cache address.
+func bodyRingKey(body []byte) string {
+	sum := sha256.Sum256(body)
+	return "body:" + hex.EncodeToString(sum[:])
+}
+
+// serveFromCluster answers a non-owned request from the response cache
+// or the key's owner. It reports true when the response was written.
+// False means the caller must run the local path: the replica owns the
+// key, the request came from a peer (never re-routed — loops are
+// structurally impossible), or every owner fetch failed (degradation).
+func (s *Server) serveFromCluster(w http.ResponseWriter, r *http.Request, req experiments.EvalRequest, ringKey, bodyKey string) bool {
+	c := s.cluster
+	if c == nil || r.Header.Get(cluster.PeerHeader) != "" {
+		return false
+	}
+	if c.topo.Ring.Owns(c.topo.Self.ID, ringKey) {
+		c.ownedLocal.Add(1)
+		return false
+	}
+	if data, ok := s.respCache.get(ringKey); ok {
+		c.cacheServed.Add(1)
+		s.respCache.put(bodyKey, data)
+		writeJSONBytes(w, http.StatusOK, data)
+		return true
+	}
+	// Canonical body: the owner re-derives the same ring key from it.
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	for _, owner := range c.topo.Ring.Owners(ringKey) {
+		if owner.ID == c.topo.Self.ID {
+			continue
+		}
+		data, err := c.peers.FetchEval(r.Context(), owner, ringKey, body)
+		if err != nil {
+			continue // next replica in the owner set, then local fallback
+		}
+		s.respCache.put(ringKey, data)
+		s.respCache.put(bodyKey, data)
+		c.peerServed.Add(1)
+		writeJSONBytes(w, http.StatusOK, data)
+		return true
+	}
+	c.fallbacks.Add(1)
+	return false
+}
+
+// handlePeerEval answers POST /v1/peer/eval: the replica-internal
+// transfer endpoint. The caller sends a canonical eval request; this
+// replica — the key's owner — answers through its response cache and
+// memoized engine, checksumming the payload for the transfer. Peer
+// requests are never re-routed, so fetch chains cannot loop.
+func (s *Server) handlePeerEval(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, "not a cluster member")
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if r.Header.Get(cluster.PeerHeader) == "" {
+		writeError(w, http.StatusForbidden, "peer endpoint (missing %s)", cluster.PeerHeader)
+		return
+	}
+	body, err := readBody(w, r, s.opts.MaxBodyBytes)
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	req, err := experiments.ParseEvalRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := experiments.RequestKey(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	data, herr := s.evalResponseBytes(r, req, evalRingKey(key))
+	if herr != nil {
+		herr.write(w)
+		return
+	}
+	w.Header().Set(cluster.ChecksumHeader, cluster.BodyChecksum(data))
+	writeJSONBytes(w, http.StatusOK, data)
+}
+
+// handlePeerTrace answers GET /v1/peer/trace/{key}: the raw BUSTRC
+// container stored under the content address, verbatim, with a
+// transfer checksum. 404 is the authoritative miss the fetching side
+// maps to "simulate locally".
+func (s *Server) handlePeerTrace(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, "not a cluster member")
+		return
+	}
+	if r.Header.Get(cluster.PeerHeader) == "" {
+		writeError(w, http.StatusForbidden, "peer endpoint (missing %s)", cluster.PeerHeader)
+		return
+	}
+	data, err := workload.CachedContainerBytes(r.PathValue("key"))
+	switch {
+	case err == nil:
+	case errors.Is(err, workload.ErrNoCacheEntry):
+		writeError(w, http.StatusNotFound, "no cached container")
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set(cluster.ChecksumHeader, cluster.BodyChecksum(data))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// installPeerTraceFetcher hooks the workload trace cache into the ring:
+// a disk miss on a peer-owned key asks the owner for its container
+// before simulating. The background context is deliberate — the fetch
+// outlives no request (the trace-cache single-flight leader calls it),
+// and the peer client applies its own timeout.
+func (s *Server) installPeerTraceFetcher() {
+	c := s.cluster
+	workload.SetPeerTraceFetcher(func(key string) ([]byte, bool) {
+		ringKey := traceRingKey(key)
+		if c.topo.Ring.Owns(c.topo.Self.ID, ringKey) {
+			return nil, false
+		}
+		for _, owner := range c.topo.Ring.Owners(ringKey) {
+			if owner.ID == c.topo.Self.ID {
+				continue
+			}
+			data, err := c.peers.FetchTrace(context.Background(), owner, key)
+			if err == nil {
+				return data, true
+			}
+			if errors.Is(err, cluster.ErrPeerMiss) {
+				// The owner answered and has no copy: simulating locally
+				// is faster than asking further non-owners.
+				return nil, false
+			}
+		}
+		return nil, false
+	})
+}

@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"buspower/internal/cluster"
+	"buspower/internal/experiments"
+	"buspower/internal/workload"
+)
+
+// swapHandler lets the HTTP listener exist before the Server it will
+// serve — the ring needs every replica's URL, and httptest assigns URLs
+// at start.
+type swapHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "replica not up", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+type replica struct {
+	srv  *Server
+	base string // replica's own URL
+	id   string
+}
+
+// startReplicas builds an n-replica shard group on real listeners, all
+// sharing one ring view. The returned replicas are cleaned up with the
+// test.
+func startReplicas(t *testing.T, n int) []*replica {
+	t.Helper()
+	handlers := make([]*swapHandler, n)
+	peers := make([]string, n)
+	servers := make([]*httptest.Server, n)
+	for i := range handlers {
+		handlers[i] = &swapHandler{}
+		servers[i] = httptest.NewServer(handlers[i])
+		peers[i] = fmt.Sprintf("n%d=%s", i, servers[i].URL)
+	}
+	reps := make([]*replica, n)
+	for i := range reps {
+		topo, err := cluster.ParseTopology(fmt.Sprintf("n%d", i), peers, 64, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := testServer(t, Options{
+			Topology:       topo,
+			RequestTimeout: 10 * time.Second,
+			PeerTimeout:    2 * time.Second,
+		})
+		handlers[i].set(s.Handler())
+		reps[i] = &replica{srv: s, base: servers[i].URL, id: topo.Self.ID}
+	}
+	t.Cleanup(func() {
+		for i := range reps {
+			reps[i].srv.Close()
+			servers[i].Close()
+		}
+		workload.SetPeerTraceFetcher(nil)
+	})
+	return reps
+}
+
+// ownerOf resolves which replica primary-owns the eval request body.
+func ownerOf(t *testing.T, reps []*replica, body string) (owner *replica, others []*replica) {
+	t.Helper()
+	req, err := experiments.ParseEvalRequest([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := experiments.RequestKey(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := reps[0].srv.cluster.topo.Ring.Owner(evalRingKey(key)).ID
+	for _, r := range reps {
+		if r.id == id {
+			owner = r
+		} else {
+			others = append(others, r)
+		}
+	}
+	if owner == nil {
+		t.Fatalf("owner %s not among replicas", id)
+	}
+	return owner, others
+}
+
+func postEvalHTTP(t *testing.T, base, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/eval", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestClusterPeerRouting: a non-owner serves a peer-fetched response
+// byte-identical to the owner's, then serves repeats from its local
+// response cache without another hop.
+func TestClusterPeerRouting(t *testing.T) {
+	reps := startReplicas(t, 3)
+	body := evalBody("window:entries=8")
+	owner, others := ownerOf(t, reps, body)
+	nonOwner := others[0]
+
+	code, fromOwner := postEvalHTTP(t, owner.base, body)
+	if code != http.StatusOK {
+		t.Fatalf("owner: code %d: %s", code, fromOwner)
+	}
+	if got := owner.srv.cluster.ownedLocal.Load(); got != 1 {
+		t.Fatalf("owner ownedLocal = %d, want 1", got)
+	}
+
+	code, fromPeer := postEvalHTTP(t, nonOwner.base, body)
+	if code != http.StatusOK {
+		t.Fatalf("non-owner: code %d: %s", code, fromPeer)
+	}
+	if !bytes.Equal(fromOwner, fromPeer) {
+		t.Fatalf("peer-served response diverges:\nowner %s\npeer  %s", fromOwner, fromPeer)
+	}
+	if got := nonOwner.srv.cluster.peerServed.Load(); got != 1 {
+		t.Fatalf("non-owner peerServed = %d, want 1", got)
+	}
+	if s := nonOwner.srv.cluster.peers.Stats(); s.EvalHits != 1 {
+		t.Fatalf("non-owner peer stats = %+v, want one eval hit", s)
+	}
+
+	// Steady state, byte-identical replay: served straight off the
+	// raw-body alias, before parsing — no second hop.
+	code, cached := postEvalHTTP(t, nonOwner.base, body)
+	if code != http.StatusOK || !bytes.Equal(cached, fromOwner) {
+		t.Fatalf("cached replay: code %d, equal %v", code, bytes.Equal(cached, fromOwner))
+	}
+	if s := nonOwner.srv.cluster.peers.Stats(); s.EvalHits != 1 {
+		t.Fatalf("replay reached the peer: %+v", s)
+	}
+
+	// A different byte encoding of the same request misses the body
+	// alias but canonicalizes onto the cached ring key — still no hop.
+	respaced := strings.Replace(body, `],"`, `], "`, 1)
+	if respaced == body {
+		t.Fatalf("test body %q has no separator to respace", body)
+	}
+	code, canon := postEvalHTTP(t, nonOwner.base, respaced)
+	if code != http.StatusOK || !bytes.Equal(canon, fromOwner) {
+		t.Fatalf("canonical replay: code %d, equal %v", code, bytes.Equal(canon, fromOwner))
+	}
+	if got := nonOwner.srv.cluster.cacheServed.Load(); got != 1 {
+		t.Fatalf("non-owner cacheServed = %d, want 1", got)
+	}
+	if s := nonOwner.srv.cluster.peers.Stats(); s.EvalHits != 1 {
+		t.Fatalf("canonical replay reached the peer: %+v", s)
+	}
+}
+
+// TestClusterDeadPeerFallback: when the key's owner is unreachable, a
+// non-owner computes locally and still answers 200 with the exact
+// single-replica payload.
+func TestClusterDeadPeerFallback(t *testing.T) {
+	handler := &swapHandler{}
+	live := httptest.NewServer(handler)
+	defer live.Close()
+	// The dead peer holds a ring slice but refuses every connection.
+	peers := []string{"alive=" + live.URL, "dead=http://127.0.0.1:1"}
+	topo, err := cluster.ParseTopology("alive", peers, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testServer(t, Options{Topology: topo, RequestTimeout: 10 * time.Second, PeerTimeout: 200 * time.Millisecond})
+	defer s.Close()
+	handler.set(s.Handler())
+
+	// Find a request the dead node owns.
+	var body string
+	for i := 0; i < 200; i++ {
+		cand := fmt.Sprintf(`{"random":%d,"scheme":"businvert"}`, 1000+i)
+		req, err := experiments.ParseEvalRequest([]byte(cand))
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, err := experiments.RequestKey(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topo.Ring.Owner(evalRingKey(key)).ID == "dead" {
+			body = cand
+			break
+		}
+	}
+	if body == "" {
+		t.Fatal("no candidate request owned by the dead node")
+	}
+
+	code, got := postEvalHTTP(t, live.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("code %d: %s", code, got)
+	}
+	if n := s.cluster.fallbacks.Load(); n != 1 {
+		t.Fatalf("fallbacks = %d, want 1", n)
+	}
+	// The degraded answer matches what a single-replica server computes.
+	single := testServer(t, Options{RequestTimeout: 10 * time.Second})
+	defer single.Close()
+	rec := postEval(single.Handler(), body)
+	if rec.Code != http.StatusOK || !bytes.Equal(rec.Body.Bytes(), got) {
+		t.Fatalf("degraded response diverges from single-replica:\n%s\n%s", got, rec.Body.Bytes())
+	}
+}
+
+// TestPeerEndpointsGuarded: the internal surface rejects requests
+// without the peer header, and is absent outside cluster mode.
+func TestPeerEndpointsGuarded(t *testing.T) {
+	reps := startReplicas(t, 2)
+	resp, err := http.Post(reps[0].base+"/v1/peer/eval", "application/json", strings.NewReader(evalBody("raw")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("headerless peer eval: code %d, want 403", resp.StatusCode)
+	}
+
+	single := testServer(t, Options{})
+	defer single.Close()
+	req := httptest.NewRequest(http.MethodPost, "/v1/peer/eval", strings.NewReader(evalBody("raw")))
+	req.Header.Set(cluster.PeerHeader, "x")
+	rec := httptest.NewRecorder()
+	single.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("single-replica peer eval: code %d, want 404", rec.Code)
+	}
+}
+
+// TestPeerTraceEndpoint: a replica serves its cached trace containers
+// verbatim with a transfer checksum; absent and malformed keys map to
+// 404 and 400.
+func TestPeerTraceEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	prev, err := workload.SetTraceCacheDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer workload.SetTraceCacheDir(prev)
+	defer workload.ClearTraceCache()
+	workload.ClearTraceCache()
+
+	// Populate one cache entry with a tiny run.
+	if _, err := workload.Traces("li", workload.RunConfig{MaxInstructions: 20_000, MaxBusValues: 4_000}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.trc"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries %v (err %v), want exactly one", entries, err)
+	}
+	key := strings.TrimSuffix(filepath.Base(entries[0]), ".trc")
+	want, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reps := startReplicas(t, 2)
+	get := func(path string) (int, []byte, http.Header) {
+		req, err := http.NewRequest(http.MethodGet, reps[0].base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(cluster.PeerHeader, "test")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes(), resp.Header
+	}
+
+	code, got, hdr := get("/v1/peer/trace/" + key)
+	if code != http.StatusOK {
+		t.Fatalf("code %d: %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("transferred container diverges from disk copy (%d vs %d bytes)", len(got), len(want))
+	}
+	if cs := hdr.Get(cluster.ChecksumHeader); cs != cluster.BodyChecksum(want) {
+		t.Fatalf("checksum header %q", cs)
+	}
+
+	if code, _, _ := get("/v1/peer/trace/" + strings.Repeat("0", 32)); code != http.StatusNotFound {
+		t.Fatalf("absent key: code %d, want 404", code)
+	}
+	if code, _, _ := get("/v1/peer/trace/..%2F..%2Fetc"); code != http.StatusBadRequest {
+		t.Fatalf("malformed key: code %d, want 400", code)
+	}
+}
+
+// TestClusterMetricsExposition: ring shape, ownership, routing and peer
+// counters all surface on /metrics.
+func TestClusterMetricsExposition(t *testing.T) {
+	reps := startReplicas(t, 3)
+	body := evalBody("gray")
+	_, others := ownerOf(t, reps, body)
+	if code, _ := postEvalHTTP(t, others[0].base, body); code != http.StatusOK {
+		t.Fatalf("eval failed: %d", code)
+	}
+	resp, err := http.Get(others[0].base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, w := range []string{
+		"buspower_ring_nodes 3",
+		`buspower_ring_ownership{node="n0"}`,
+		`buspower_cluster_eval_total{path="peer"} 1`,
+		`buspower_peer_fetch_total{kind="eval",result="hit"} 1`,
+		"buspower_response_cache_entries",
+		"buspower_trace_cache_peer_hits",
+	} {
+		if !strings.Contains(text, w) {
+			t.Errorf("metrics missing %q", w)
+		}
+	}
+}

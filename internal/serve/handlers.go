@@ -2,7 +2,9 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -14,22 +16,29 @@ import (
 
 // handleEval answers POST /v1/eval: one experiments.EvalRequest in, one
 // experiments.EvalResponse out. The full pipeline is: body size limit →
-// strict parse/validate (400) → pool admission (429 when saturated) →
-// per-request timeout → memoized evaluation.
+// strict parse/validate (400) → ring routing (non-owned keys go to the
+// response cache or the owner replica, with local fallback) → pool
+// admission (429 when saturated) → per-request timeout → memoized
+// evaluation.
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	body, err := readBody(w, r, s.opts.MaxBodyBytes)
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
-			return
-		}
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		writeBodyError(w, err)
+		return
+	}
+	// Raw-body fast path: a repeated byte-identical request skips
+	// parsing, validation and canonicalization entirely. Only successful
+	// responses are ever stored under a body alias, so the shortcut can
+	// never change an answer — at worst it misses and the full pipeline
+	// runs.
+	bodyKey := bodyRingKey(body)
+	if data, ok := s.respCache.get(bodyKey); ok {
+		writeJSONBytes(w, http.StatusOK, data)
 		return
 	}
 	req, err := experiments.ParseEvalRequest(body)
@@ -44,19 +53,62 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	key, err := experiments.RequestKey(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ringKey := evalRingKey(key)
+	if s.serveFromCluster(w, r, req, ringKey, bodyKey) {
+		return
+	}
+	data, herr := s.evalResponseBytes(r, req, ringKey)
+	if herr != nil {
+		herr.write(w)
+		return
+	}
+	s.respCache.put(bodyKey, data)
+	writeJSONBytes(w, http.StatusOK, data)
+}
 
+// httpError carries an error-response decision out of evalResponseBytes
+// so /v1/eval and /v1/peer/eval render identical failures.
+type httpError struct {
+	code       int
+	retryAfter int // seconds; emitted as Retry-After when > 0
+	msg        string
+}
+
+func (e *httpError) write(w http.ResponseWriter) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
+	writeError(w, e.code, "%s", e.msg)
+}
+
+// evalResponseBytes produces the exact marshalled 200 payload for a
+// parsed request: the response byte cache first, then the bounded pool
+// and the memoized engine on a miss. Only successful payloads are
+// cached — an error here describes this request's admission or
+// deadline, not the key's value.
+func (s *Server) evalResponseBytes(r *http.Request, req experiments.EvalRequest, ringKey string) ([]byte, *httpError) {
+	if data, ok := s.respCache.get(ringKey); ok {
+		return data, nil
+	}
 	release, err := s.pool.acquire(r.Context())
 	if err != nil {
 		switch {
 		case errors.Is(err, errSaturated):
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-			writeError(w, http.StatusTooManyRequests, "server saturated: %d evaluations running, %d queued", s.opts.Workers, s.opts.QueueDepth)
+			return nil, &httpError{
+				code:       http.StatusTooManyRequests,
+				retryAfter: s.evalRetryAfterSeconds(),
+				msg:        fmt.Sprintf("server saturated: %d evaluations running, %d queued", s.opts.Workers, s.opts.QueueDepth),
+			}
 		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "request deadline expired while queued")
+			return nil, &httpError{code: http.StatusGatewayTimeout, msg: "request deadline expired while queued"}
 		default: // client went away while queued
-			writeError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+			return nil, &httpError{code: http.StatusServiceUnavailable, msg: "request cancelled while queued"}
 		}
-		return
 	}
 	defer release()
 
@@ -70,17 +122,37 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "evaluation exceeded the %v request timeout", s.opts.RequestTimeout)
+			return nil, &httpError{code: http.StatusGatewayTimeout, msg: fmt.Sprintf("evaluation exceeded the %v request timeout", s.opts.RequestTimeout)}
 		case errors.Is(err, context.Canceled):
-			writeError(w, http.StatusServiceUnavailable, "request cancelled")
+			return nil, &httpError{code: http.StatusServiceUnavailable, msg: "request cancelled"}
 		default:
 			// Validation re-runs inside EvaluateRequest; anything it
 			// rejects after the parse above is still a client error.
-			writeError(w, http.StatusBadRequest, "%v", err)
+			return nil, &httpError{code: http.StatusBadRequest, msg: err.Error()}
 		}
+	}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		return nil, &httpError{code: http.StatusInternalServerError, msg: "response encoding failed"}
+	}
+	data = append(data, '\n') // exact writeJSON framing, so all paths are byte-identical
+	s.respCache.put(ringKey, data)
+	return data, nil
+}
+
+// readBody reads the size-capped request body.
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+}
+
+// writeBodyError maps a readBody failure to 413 (over the cap) or 400.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeError(w, http.StatusBadRequest, "reading body: %v", err)
 }
 
 // schemeInfo describes one accepted scheme kind for /v1/schemes.
@@ -150,28 +222,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics answers GET /metrics in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.metrics.render(w, s.pool, s.jobs)
-}
-
-// maxRetryAfterSeconds caps the 429 back-off hint: a server run with a
-// long full-mode -timeout (minutes) is telling clients how long one
-// evaluation may take, not how long the queue needs to drain — without
-// the cap, shed clients would be told to go away for the whole timeout.
-const maxRetryAfterSeconds = 30
-
-// retryAfterSeconds estimates how long a shed client should back off: one
-// nominal request-timeout's worth of drain, floored at 1s and capped at
-// maxRetryAfterSeconds.
-func (s *Server) retryAfterSeconds() int {
-	if s.opts.RequestTimeout <= 0 {
-		return 1
-	}
-	secs := int(s.opts.RequestTimeout.Seconds())
-	if secs < 1 {
-		secs = 1
-	}
-	if secs > maxRetryAfterSeconds {
-		secs = maxRetryAfterSeconds
-	}
-	return secs
+	s.metrics.render(w, s)
 }

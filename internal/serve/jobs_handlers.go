@@ -45,14 +45,9 @@ func summarize(j *jobs.Job) jobSummary {
 // existing job with the same content address — for a done job that is
 // the complete result, served from the journal without re-evaluation.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	body, err := readBody(w, r, s.opts.MaxBodyBytes)
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
-			return
-		}
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		writeBodyError(w, err)
 		return
 	}
 	items, err := jobs.ParseSpec(body)
@@ -64,7 +59,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			w.Header().Set("Retry-After", strconv.Itoa(s.jobsRetryAfterSeconds()))
 			writeError(w, http.StatusTooManyRequests, "job queue full")
 		case errors.Is(err, jobs.ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, "server draining")

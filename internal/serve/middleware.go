@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"sync/atomic"
@@ -71,7 +72,14 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 			}
 			elapsed := time.Since(start)
 			s.metrics.record(name, rec.code, elapsed)
-			s.log.Info("request",
+			// Under QuietAccessLog successful requests log at debug —
+			// formatting tens of thousands of per-request lines is a
+			// measurable cost at load-test rates. Failures always log.
+			level := slog.LevelInfo
+			if s.opts.QuietAccessLog && rec.code < 400 {
+				level = slog.LevelDebug
+			}
+			s.log.Log(r.Context(), level, "request",
 				"request_id", id,
 				"handler", name,
 				"method", r.Method,
@@ -88,6 +96,14 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 // writeError emits the uniform JSON error envelope.
 func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSONBytes emits an already-marshalled JSON payload (newline
+// included) with the given status code — the cached-response fast path.
+func writeJSONBytes(w http.ResponseWriter, code int, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(data)
 }
 
 // writeJSON emits v with the given status code.

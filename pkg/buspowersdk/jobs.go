@@ -1,0 +1,197 @@
+package buspowersdk
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// SubmitJob submits a batch for asynchronous evaluation. created is
+// false when the submission coalesced onto an existing job with the
+// same content address (for a finished job, that job already carries
+// the complete results).
+func (c *Client) SubmitJob(ctx context.Context, spec JobSpec) (job *Job, created bool, err error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	var out Job
+	resp, err := c.doJSON(ctx, http.MethodPost, "/v1/jobs", body, &out)
+	if err != nil {
+		return nil, false, err
+	}
+	return &out, resp.StatusCode == http.StatusAccepted, nil
+}
+
+// Job fetches one job with its full per-item results.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if _, err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists all resident jobs in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobSummary, error) {
+	var out struct {
+		Jobs []JobSummary `json:"jobs"`
+	}
+	if _, err := c.doJSON(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// CancelJob requests cooperative cancellation and returns the job's
+// state after the request.
+func (c *Client) CancelJob(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if _, err := c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob blocks until the job reaches a terminal state, polling at the
+// given interval (default 500ms when <= 0), and returns the final job.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*Job, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.State.Terminal() {
+			return j, nil
+		}
+		if err := c.sleep(ctx, poll); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// EventStream is one live SSE connection to a job's event feed.
+type EventStream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+// ErrStreamClosed reports an SSE stream that ended cleanly (the job
+// reached a terminal state and the server closed the feed).
+var ErrStreamClosed = errors.New("buspowersdk: event stream closed")
+
+// JobEvents opens the job's SSE feed. The first event is always a
+// "state" snapshot of where the job currently stands; the caller owns
+// the stream and must Close it.
+func (c *Client) JobEvents(ctx context.Context, id string) (*EventStream, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	return &EventStream{body: resp.Body, sc: sc}, nil
+}
+
+// Next blocks for the next event. It returns ErrStreamClosed when the
+// server ended the feed, or the transport error when the connection
+// died mid-stream (see WatchJob for transparent resumption).
+func (s *EventStream) Next() (Event, error) {
+	var data strings.Builder
+	sawData := false
+	for s.sc.Scan() {
+		line := s.sc.Text()
+		switch {
+		case line == "":
+			if sawData {
+				var ev Event
+				if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+					return Event{}, fmt.Errorf("buspowersdk: bad event payload: %w", err)
+				}
+				return ev, nil
+			}
+		case strings.HasPrefix(line, "data: "):
+			data.WriteString(strings.TrimPrefix(line, "data: "))
+			sawData = true
+		}
+		// "event:" lines are redundant with the payload's type field.
+	}
+	if err := s.sc.Err(); err != nil {
+		return Event{}, err
+	}
+	if sawData {
+		// A final event not yet terminated by a blank line when the feed
+		// ended; deliver it before reporting closure.
+		var ev Event
+		if err := json.Unmarshal([]byte(data.String()), &ev); err == nil {
+			sawData = false
+			return ev, nil
+		}
+	}
+	return Event{}, ErrStreamClosed
+}
+
+// Close releases the stream's connection.
+func (s *EventStream) Close() error { return s.body.Close() }
+
+// WatchJob follows a job to completion through its event feed, calling
+// onEvent (when non-nil) for every received event. A connection that
+// dies mid-stream is transparently resumed: each reconnect opens with a
+// fresh state snapshot, so no job-state transition is ever missed
+// (individual item events from the gap are summarized by the snapshot's
+// progress counts rather than replayed). Returns the final job record.
+func (c *Client) WatchJob(ctx context.Context, id string, onEvent func(Event)) (*Job, error) {
+	for {
+		stream, err := c.JobEvents(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		closed := false
+		for {
+			ev, err := stream.Next()
+			if errors.Is(err, ErrStreamClosed) {
+				closed = true
+				break
+			}
+			if err != nil {
+				break // mid-stream disconnect: reconnect below
+			}
+			if onEvent != nil {
+				onEvent(ev)
+			}
+			if ev.Type == "state" && ev.State.Terminal() {
+				closed = true
+				break
+			}
+		}
+		stream.Close()
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// Whether the feed ended cleanly or died, the job record is the
+		// authority; a terminal state ends the watch.
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.State.Terminal() {
+			return j, nil
+		}
+		if closed {
+			// The server ended the feed for a non-terminal job (e.g. a
+			// drain); brief pause before re-subscribing.
+			if err := c.sleep(ctx, c.backoff); err != nil {
+				return nil, err
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package buspowersdk
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"buspower/internal/experiments"
+	"buspower/internal/jobs"
+)
+
+// The SDK mirrors the server's internal wire types field-for-field.
+// Each parity test marshals a fully populated internal value, decodes
+// it into the mirror with unknown fields disallowed (a field the SDK
+// dropped fails here), and re-marshals (a field the SDK added, renamed
+// or re-tagged fails the byte comparison).
+
+func roundTripParity(t *testing.T, internal interface{}, mirror interface{}) {
+	t.Helper()
+	data, err := json.Marshal(internal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(mirror); err != nil {
+		t.Fatalf("SDK mirror rejects server payload: %v\npayload: %s", err, data)
+	}
+	back, err := json.Marshal(mirror)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatalf("SDK mirror re-marshals differently:\nserver: %s\nsdk:    %s", data, back)
+	}
+}
+
+func internalEvalRequest() experiments.EvalRequest {
+	return experiments.EvalRequest{
+		Workload:        "li",
+		Bus:             "reg",
+		Random:          25000,
+		Values:          []uint64{1, 2, 3},
+		Scheme:          "window:entries=8",
+		Lambda:          2.5,
+		Verify:          "sampled:512",
+		Quick:           true,
+		MaxInstructions: 1_000_000,
+		MaxBusValues:    120_000,
+	}
+}
+
+func TestEvalRequestParity(t *testing.T) {
+	roundTripParity(t, internalEvalRequest(), &EvalRequest{})
+}
+
+func TestEvalResponseParity(t *testing.T) {
+	req, err := experiments.ParseEvalRequest([]byte(`{"values":[1,2,3,7,1,2],"scheme":"window:entries=8","lambda":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := experiments.EvaluateRequest(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTripParity(t, resp, &EvalResponse{})
+}
+
+func TestJobParity(t *testing.T) {
+	now := time.Now().UTC().Truncate(time.Second)
+	later := now.Add(3 * time.Second)
+	req := internalEvalRequest()
+	j := jobs.Job{
+		ID:         "0123456789abcdef0123456789abcdef",
+		State:      jobs.StateFailed,
+		CreatedAt:  now,
+		StartedAt:  &now,
+		FinishedAt: &later,
+		Items: []jobs.Item{
+			{Kind: "eval", Eval: &req},
+			{Kind: "experiment", Experiment: "fig9", Quick: true},
+		},
+		Results: []jobs.ItemResult{
+			{Status: jobs.ItemDone, Result: json.RawMessage(`{"x":1}`), ElapsedMS: 12.5},
+			{Status: "failed", Error: "boom", ElapsedMS: 1},
+		},
+		Progress: jobs.Progress{Total: 2, Pending: 0, Running: 0, Done: 1, Failed: 1, Cancelled: 0},
+	}
+	roundTripParity(t, j, &Job{})
+}
+
+func TestEventParity(t *testing.T) {
+	ev := jobs.Event{
+		Type:  "item",
+		JobID: "deadbeef",
+		State: jobs.StateRunning,
+		Index: 3,
+		Item: &jobs.ItemResult{
+			Status: jobs.ItemDone, Result: json.RawMessage(`{"y":2}`), ElapsedMS: 4,
+		},
+		Progress: jobs.Progress{Total: 5, Pending: 1, Running: 1, Done: 3},
+	}
+	roundTripParity(t, ev, &Event{})
+}
+
+// TestJobSpecAccepted: what the SDK submits must parse through the
+// server's own spec parser.
+func TestJobSpecAccepted(t *testing.T) {
+	spec := JobSpec{Requests: []EvalRequest{
+		{Values: []uint64{1, 2, 3}, Scheme: "gray"},
+		{Random: 500, Scheme: "businvert", Lambda: 2},
+	}}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := jobs.ParseSpec(data)
+	if err != nil {
+		t.Fatalf("server spec parser rejects SDK submission: %v", err)
+	}
+	if len(items) != 2 || items[0].Kind != "eval" {
+		t.Fatalf("items = %+v", items)
+	}
+
+	suite := JobSpec{Suite: &SuiteSpec{Experiments: "all", Quick: true}}
+	data, err = json.Marshal(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jobs.ParseSpec(data); err != nil {
+		t.Fatalf("server spec parser rejects SDK suite submission: %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+package buspowersdk
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// The SDK defines its own wire types rather than re-exporting the
+// server's internal ones: internal/ packages are unimportable outside
+// this module, and the JSON shapes — not the Go identifiers — are the
+// API contract. Parity tests in this package round-trip every mirror
+// against its internal counterpart, so a drifting field breaks the
+// build, not a user.
+
+// EvalRequest is the POST /v1/eval payload. Exactly one source must be
+// set: Workload+Bus, Random, or Values.
+type EvalRequest struct {
+	// Workload names a registered benchmark; Bus selects its captured
+	// stream: "reg", "mem" or "addr".
+	Workload string `json:"workload,omitempty"`
+	Bus      string `json:"bus,omitempty"`
+	// Random asks for the shared uniformly random trace of this length.
+	Random int `json:"random,omitempty"`
+	// Values is an inline submitted trace.
+	Values []uint64 `json:"values,omitempty"`
+	// Scheme is the coding-scheme spec, e.g. "window:entries=8" or
+	// "context:table=64,sr=8".
+	Scheme string `json:"scheme"`
+	// Lambda is the coupling ratio Λ the meters are read at (default 1).
+	Lambda float64 `json:"lambda,omitempty"`
+	// Verify is the decoder round-trip policy: "full", "sampled[:N]" or
+	// "off".
+	Verify string `json:"verify,omitempty"`
+	// Quick selects reduced workload simulation bounds; the Max fields
+	// override individual bounds.
+	Quick           bool   `json:"quick,omitempty"`
+	MaxInstructions uint64 `json:"max_instructions,omitempty"`
+	MaxBusValues    int    `json:"max_bus_values,omitempty"`
+}
+
+// BusStats is one bus's activity accounting.
+type BusStats struct {
+	Width        int     `json:"width"`
+	Cycles       uint64  `json:"cycles"`
+	Transitions  uint64  `json:"transitions"`
+	Couplings    uint64  `json:"couplings"`
+	Cost         float64 `json:"cost"`
+	CostPerCycle float64 `json:"cost_per_cycle"`
+}
+
+// OpStats counts the encoder's hardware operations (§5.3.2 of the
+// paper). Field names are the wire names — the server's type carries no
+// JSON tags.
+type OpStats struct {
+	Cycles            uint64
+	PartialMatches    uint64
+	FullMatches       uint64
+	Shifts            uint64
+	CounterIncrements uint64
+	CounterCompares   uint64
+	Swaps             uint64
+	TableWrites       uint64
+	CodeSends         uint64
+	RawSends          uint64
+	LastHits          uint64
+}
+
+// EvalResponse is the POST /v1/eval result.
+type EvalResponse struct {
+	Scheme             string   `json:"scheme"`
+	ConfigKey          string   `json:"config_key"`
+	Source             string   `json:"source"`
+	Lambda             float64  `json:"lambda"`
+	Verify             string   `json:"verify"`
+	Raw                BusStats `json:"raw"`
+	Coded              BusStats `json:"coded"`
+	EnergyRemovedPct   float64  `json:"energy_removed_pct"`
+	EnergyRemainingPct float64  `json:"energy_remaining_pct"`
+	Ops                OpStats  `json:"ops"`
+}
+
+// SchemeInfo describes one accepted scheme kind (GET /v1/schemes).
+type SchemeInfo struct {
+	Kind    string `json:"kind"`
+	Example string `json:"example"`
+}
+
+// SchemesResponse is the GET /v1/schemes payload.
+type SchemesResponse struct {
+	Schemes []SchemeInfo `json:"schemes"`
+	Grammar string       `json:"grammar"`
+}
+
+// WorkloadInfo describes one registered workload (GET /v1/workloads).
+type WorkloadInfo struct {
+	Name        string   `json:"name"`
+	Suite       string   `json:"suite"`
+	Description string   `json:"description"`
+	Buses       []string `json:"buses"`
+}
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+const (
+	JobPending   JobState = "pending"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// ItemStatus is one job item's lifecycle state.
+type ItemStatus string
+
+// JobSpec is the POST /v1/jobs payload: either a batch of eval
+// requests, or a registered experiment suite.
+type JobSpec struct {
+	// Requests is a batch of eval requests (same shape as /v1/eval).
+	Requests []EvalRequest `json:"requests,omitempty"`
+	// Suite selects registered experiments by id.
+	Suite *SuiteSpec `json:"suite,omitempty"`
+}
+
+// SuiteSpec selects registered experiments.
+type SuiteSpec struct {
+	// Experiments is a comma-separated id list; "all" expands to every
+	// registered experiment.
+	Experiments string `json:"experiments"`
+	// Quick selects the reduced simulation bounds.
+	Quick bool `json:"quick,omitempty"`
+}
+
+// JobItem is one unit of scheduled work inside a job.
+type JobItem struct {
+	Kind       string       `json:"kind"` // "eval" or "experiment"
+	Eval       *EvalRequest `json:"eval,omitempty"`
+	Experiment string       `json:"experiment,omitempty"`
+	Quick      bool         `json:"quick,omitempty"`
+}
+
+// ItemResult is one item's outcome. Result holds the item's JSON
+// payload: an EvalResponse for "eval" items, an experiment result for
+// "experiment" items.
+type ItemResult struct {
+	Status    ItemStatus      `json:"status"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	ElapsedMS float64         `json:"elapsed_ms,omitempty"`
+}
+
+// Progress is a job's item census.
+type Progress struct {
+	Total     int `json:"total"`
+	Pending   int `json:"pending"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// Job is the full job record (GET /v1/jobs/{id}).
+type Job struct {
+	ID         string       `json:"id"`
+	State      JobState     `json:"state"`
+	CreatedAt  time.Time    `json:"created_at"`
+	StartedAt  *time.Time   `json:"started_at,omitempty"`
+	FinishedAt *time.Time   `json:"finished_at,omitempty"`
+	Items      []JobItem    `json:"items"`
+	Results    []ItemResult `json:"results"`
+	Progress   Progress     `json:"progress"`
+}
+
+// JobSummary is the list view (GET /v1/jobs).
+type JobSummary struct {
+	ID         string     `json:"id"`
+	State      JobState   `json:"state"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	Progress   Progress   `json:"progress"`
+}
+
+// Event is one GET /v1/jobs/{id}/events stream entry.
+type Event struct {
+	// Type is "state" or "item".
+	Type  string   `json:"type"`
+	JobID string   `json:"job_id"`
+	State JobState `json:"state"`
+	// Index and Item carry the item outcome ("item" events).
+	Index int         `json:"index,omitempty"`
+	Item  *ItemResult `json:"item,omitempty"`
+	// Progress is the job's counts after the event.
+	Progress Progress `json:"progress"`
+}
+
+// Health is the GET /healthz payload.
+type Health struct {
+	Status string `json:"status"`
+}
