@@ -9,7 +9,7 @@
 //	buspower -exp all -o results/ -jobs 8 -v
 //	buspower -exp all -trace-cache /tmp/traces
 //	buspower -exp all -verify full
-//	buspower bench -quick -out results/BENCH_PR8.json
+//	buspower bench -quick -out results/BENCH_PR9.json
 //	buspower serve -addr :8080 -workers 8
 //	buspower serve -addr :8081 -self n1 -peers n0=http://h0:8080,n1=http://h1:8081
 //	buspower eval -server http://localhost:8080 -scheme gray -random 10000
@@ -155,7 +155,7 @@ func runBench(args []string) error {
 	var (
 		quick     = fs.Bool("quick", false, "short per-kernel benchmark budget (CI smoke); skips the full-scale e2e phase")
 		skipE2E   = fs.Bool("skip-e2e", false, "skip the end-to-end -exp all -quick timing")
-		out       = fs.String("out", "results/BENCH_PR8.json", "write the JSON report to this file ('-' for stdout)")
+		out       = fs.String("out", "results/BENCH_PR9.json", "write the JSON report to this file ('-' for stdout)")
 		baseline  = fs.String("baseline", "", "previous report to embed baseline numbers and speedups from")
 		note      = fs.String("note", "", "free-form context recorded in the report (machine caveats, why the run was taken)")
 		benchtime = fs.Duration("benchtime", 0, "per-kernel time budget (0 = 500ms, or 30ms with -quick)")
@@ -347,6 +347,8 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "eval memo: %d hits / %d misses, %d evictions, %d entries", m.Hits, m.Misses, m.Evictions, m.Size)
 		r := experiments.RawMeterMemoStats()
 		fmt.Fprintf(os.Stderr, "; raw meters: %d hits / %d misses\n", r.Hits, r.Misses)
+		sl := experiments.SlicedCacheStats()
+		fmt.Fprintf(os.Stderr, "sliced planes: %d hits / %d misses, %d entries\n", sl.Hits, sl.Misses, sl.Size)
 	}
 	if err != nil {
 		return err

@@ -55,6 +55,8 @@ func Kernels() []Kernel {
 		{"Bus.SlicedMeter/32x8k", benchSlicedMeter},
 		{"Grid.Stateless/raw-inv-gray", benchGridStateless},
 		{"Grid.Stride/k1-8", benchGridStride},
+		{"Batch.Window/8-128", benchBatchWindow},
+		{"Batch.MultiTrace/li-suite", benchBatchMultiTrace},
 		{"CPU.Simulate/li-50k", benchSimulate},
 		{"Trace.Write/120k", benchTraceWrite},
 		{"Trace.Read/120k", benchTraceRead},
@@ -330,6 +332,76 @@ func benchGridStride(b *B) {
 	}
 }
 
+// benchBatchWindow fans a whole window register-size family out of one
+// grid pass — the shared-prefix batch engine: one probe index, exact
+// per-size rings, one pass over the trace metering every size at once.
+func benchBatchWindow(b *B) {
+	vals := dictTrace(8192, 48)
+	raw := coding.MeasureRawValues(32, vals)
+	var cells []coding.GridCell
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		w, err := coding.NewWindow(32, n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = append(cells, coding.GridCell{T: w, Lambda: 1})
+	}
+	b.SetBytes(int64(len(vals)) * 8 * int64(len(cells)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coding.EvaluateGrid(cells, vals, raw, coding.VerifySampled(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBatchMultiTrace streams a small simulated suite — li's register,
+// memory-data and memory-address buses — through one EvaluateBatch call,
+// the way the experiment runners fan a scheme grid over a workload's
+// traces with shared transcoder scratch.
+func benchBatchMultiTrace(b *B) {
+	w, err := workload.ByName("li")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := cpu.NewSimulator(p, cpu.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := sim.Run(50_000, 0)
+	var cells []coding.GridCell
+	for _, n := range []int{8, 32, 128} {
+		win, err := coding.NewWindow(32, n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = append(cells, coding.GridCell{T: win, Lambda: 1})
+	}
+	var total int
+	traces := make([]coding.BatchTrace, 0, 3)
+	for _, vals := range [][]uint64{tr.RegisterBus, tr.MemoryBus, tr.MemoryAddrBus} {
+		traces = append(traces, coding.BatchTrace{Values: vals, Raw: coding.MeasureRawValues(32, vals)})
+		total += len(vals)
+	}
+	b.SetBytes(int64(total) * 8 * int64(len(cells)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := coding.EvaluateBatch(cells, traces, coding.VerifySampled(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(traces) {
+			b.Fatal("short batch result")
+		}
+	}
+}
+
 func benchSimulate(b *B) {
 	w, err := workload.ByName("li")
 	if err != nil {
@@ -531,9 +603,12 @@ func runE2E(includeFull bool) (*E2EResult, error) {
 		// means the cache is broken and the timing is a lie.
 		return nil, errDiskCacheCold
 	}
+	sl := experiments.SlicedCacheStats()
 	res := &E2EResult{
 		IDs:               "all",
 		Config:            "quick",
+		SlicedPlaneHits:   sl.Hits,
+		SlicedPlaneMisses: sl.Misses,
 		Jobs:              0,
 		Tables:            tables,
 		ColdMS:            float64(cold.Microseconds()) / 1000,
@@ -559,27 +634,57 @@ func runE2E(includeFull bool) (*E2EResult, error) {
 		_, err := experiments.RunAll(context.Background(), fullCfg, ids, experiments.Options{})
 		return time.Since(start), err
 	}
-	fullDir, err := os.MkdirTemp("", "buspower-bench-full-")
-	if err != nil {
-		return nil, err
+	// Both full phases report the minimum of three runs: a full pass is
+	// long enough that scheduler noise on a shared host dominates any
+	// single sample, and the minimum is the run least disturbed by it.
+	const fullReps = 3
+	var fullDirs []string
+	defer func() {
+		for _, d := range fullDirs {
+			os.RemoveAll(d)
+		}
+	}()
+	var fullCold, fullWarm time.Duration
+	for r := 0; r < fullReps; r++ {
+		// Every cold rep gets a fresh empty disk dir: the first pass
+		// populates whatever directory it runs against, and a reused one
+		// would silently turn reps two and three into disk-warm runs.
+		fullDir, err := os.MkdirTemp("", "buspower-bench-full-")
+		if err != nil {
+			return nil, err
+		}
+		fullDirs = append(fullDirs, fullDir)
+		if _, err := workload.SetTraceCacheDir(fullDir); err != nil {
+			return nil, err
+		}
+		workload.ClearTraceCache()
+		experiments.ClearEvalMemo()
+		d, err := runFull()
+		if err != nil {
+			return nil, err
+		}
+		if r == 0 || d < fullCold {
+			fullCold = d
+		}
 	}
-	defer os.RemoveAll(fullDir)
-	if _, err := workload.SetTraceCacheDir(fullDir); err != nil {
-		return nil, err
-	}
-	workload.ClearTraceCache()
-	experiments.ClearEvalMemo()
-	fullCold, err := runFull()
-	if err != nil {
-		return nil, err
-	}
-	experiments.ClearEvalMemo()
+	// Warm reps reuse the traces the last cold rep left in memory; only
+	// the evaluation memos are cleared, so each rep re-pays exactly the
+	// recompute the warm figure measures. The cycle delta is taken around
+	// the first rep (the count is deterministic across reps).
 	fullCycles := coding.EvaluatedCycles()
-	fullWarm, err := runFull()
-	if err != nil {
-		return nil, err
+	for r := 0; r < fullReps; r++ {
+		experiments.ClearEvalMemo()
+		d, err := runFull()
+		if err != nil {
+			return nil, err
+		}
+		if r == 0 {
+			fullCycles = coding.EvaluatedCycles() - fullCycles
+		}
+		if r == 0 || d < fullWarm {
+			fullWarm = d
+		}
 	}
-	fullCycles = coding.EvaluatedCycles() - fullCycles
 	res.FullColdMS = float64(fullCold.Microseconds()) / 1000
 	res.FullWarmMS = float64(fullWarm.Microseconds()) / 1000
 	res.FullWarmMCyclesPerSec = mcyclesPerSec(fullCycles, fullWarm)

@@ -220,6 +220,33 @@ func (s *MeterStream) Record(w Word) {
 	s.n++
 }
 
+// AddBlock folds a pre-accounted run of cycles into the stream: the
+// caller observed `cycles` bus states ending in `last` and already
+// summed their Σ transition and coupling counts with the meter's exact
+// arithmetic (stateful encoders get these for free from their eq. (3)
+// cost evaluations). The first of those states must have been diffed
+// against the stream's current last word — which the encoders'
+// channel state equals by construction — and at least one word must
+// have been recorded before the first AddBlock, so the power-up state
+// is pinned. Histogram (detailed) meters cannot accept summary blocks.
+func (s *MeterStream) AddBlock(cycles, transitions, couplings uint64, last Word) {
+	if s.detailed {
+		panic("bus: AddBlock on a histogram meter stream")
+	}
+	if cycles == 0 {
+		// An empty block is equivalent to zero Records.
+		return
+	}
+	s.drain()
+	if !s.started {
+		panic("bus: AddBlock before any recorded word")
+	}
+	s.cycles += cycles
+	s.transitions += transitions
+	s.couplings += couplings
+	s.prev = last & s.mask
+}
+
 // drain accounts the staged words with the same local-accumulator batch
 // arithmetic as Meter.recordAll.
 func (s *MeterStream) drain() {

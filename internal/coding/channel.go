@@ -46,7 +46,21 @@ type channel struct {
 	pairMask    bus.Word // Mask(busWidth-1): adjacent pairs incl. control wires
 	lambdaInt   uint64   // integral Λ when lambdaIsInt
 	lambdaIsInt bool
+
+	// accT/accC accumulate the Σ transition and coupling counts of every
+	// send since the last beginBlock, with exactly the arithmetic
+	// MeterStream.drain applies to consecutive bus states (sendRaw's cost
+	// evaluation computes both for the chosen candidate anyway). Bulk
+	// encode paths zero them with beginBlock, skip per-cycle stream
+	// records, and fold the run into their meter with one
+	// MeterStream.AddBlock; single-step paths that still record each
+	// word into a stream simply leave the accumulators stale.
+	accT, accC uint64
 }
+
+// beginBlock starts a self-accounted run: the counts accumulated by
+// subsequent sends belong to the caller's block.
+func (c *channel) beginBlock() { c.accT, c.accC = 0, 0 }
 
 // intLambda reports whether lambda is usable by bus.CostMaskedInt:
 // a non-negative integer small enough that every cost stays exactly
@@ -78,7 +92,17 @@ func (c *channel) ctrlInv() bus.Word { return bus.Word(1) << uint(c.width+1) }
 
 // sendCode applies the codeword as a transition vector to the data wires.
 func (c *channel) sendCode(code bus.Word) bus.Word {
-	c.state ^= code & c.dataMask
+	t := code & c.dataMask
+	if t != 0 {
+		old := c.state
+		rising := t &^ old
+		falling := t & old
+		single := (t ^ (t >> 1)) & c.pairMask
+		opposite := ((rising & (falling >> 1)) | (falling & (rising >> 1))) & c.pairMask
+		c.accT += uint64(bus.Weight(t))
+		c.accC += uint64(bus.Weight(single)) + 2*uint64(bus.Weight(opposite))
+	}
+	c.state ^= t
 	return c.state
 }
 
@@ -94,12 +118,20 @@ func (c *channel) sendRaw(v uint64) (bus.Word, bool) {
 	candInv := (keep | ^bus.Word(v)&c.dataMask) ^ c.ctrlInv()
 	costRaw := bus.CostMasked(c.state, candRaw, c.pairMask, c.lambda)
 	costInv := bus.CostMasked(c.state, candInv, c.pairMask, c.lambda)
+	chosen, inverted := candRaw, false
 	if costInv < costRaw {
-		c.state = candInv
-		return c.state, true
+		chosen, inverted = candInv, true
 	}
-	c.state = candRaw
-	return c.state, false
+	old := c.state
+	t := old ^ chosen
+	rising := chosen &^ old
+	falling := old &^ chosen
+	single := (t ^ (t >> 1)) & c.pairMask
+	opposite := ((rising & (falling >> 1)) | (falling & (rising >> 1))) & c.pairMask
+	c.accT += uint64(bus.Weight(t))
+	c.accC += uint64(bus.Weight(single)) + 2*uint64(bus.Weight(opposite))
+	c.state = chosen
+	return chosen, inverted
 }
 
 // sendRawInt is sendRaw's integral-Λ fast path: one fused eq. (3)
@@ -127,13 +159,19 @@ func (c *channel) sendRawInt(v bus.Word) (bus.Word, bool) {
 	iUp := (d &^ (v | p)) | (ctlI &^ s)
 	iDn := (p & v) | (ctlI & s)
 	pm := c.pairMask
-	costRaw := pd + 1 + c.lambdaInt*couplingEvents((t|ctlR), rUp, rDn, pm)
-	costInv := uint64(c.width) - pd + 1 + c.lambdaInt*couplingEvents((t^d)|ctlI, iUp, iDn, pm)
+	cplR := couplingEvents((t|ctlR), rUp, rDn, pm)
+	cplI := couplingEvents((t^d)|ctlI, iUp, iDn, pm)
+	costRaw := pd + 1 + c.lambdaInt*cplR
+	costInv := uint64(c.width) - pd + 1 + c.lambdaInt*cplI
 	keep := s &^ d
 	if costInv < costRaw {
+		c.accT += uint64(c.width) - pd + 1
+		c.accC += cplI
 		c.state = (keep | (v ^ d)) ^ ctlI
 		return c.state, true
 	}
+	c.accT += pd + 1
+	c.accC += cplR
 	c.state = (keep | v) ^ ctlR
 	return c.state, false
 }
@@ -147,7 +185,7 @@ func couplingEvents(t, up, dn, pm bus.Word) uint64 {
 	return uint64(bus.Weight(single)) + 2*uint64(bus.Weight(opposite))
 }
 
-func (c *channel) reset() { c.state = 0 }
+func (c *channel) reset() { c.state, c.accT, c.accC = 0, 0, 0 }
 
 // decodeChannel is the decoder-side bus observer.
 type decodeChannel struct {

@@ -161,6 +161,9 @@ type contextState struct {
 	tableBytes  [256]uint32
 	srBytes     [256]uint32
 	pendingBits []uint64
+	// pendingCount tracks the number of set pendingBits so the per-cycle
+	// step can skip the sort pass without touching the bitset words.
+	pendingCount int
 
 	ops *OpStats // optional, set by the encoder
 }
@@ -189,12 +192,21 @@ func (s *contextState) makeKey(v uint64) ctxKey {
 	return ctxKey{cur: v}
 }
 
-// setPendingBit keeps the bitset in lockstep with table[i].pending.
+// setPendingBit keeps the bitset (and its population count) in lockstep
+// with table[i].pending.
 func (s *contextState) setPendingBit(i int, pending bool) {
+	w := &s.pendingBits[i>>6]
+	bit := uint64(1) << (i & 63)
 	if pending {
-		s.pendingBits[i>>6] |= 1 << (i & 63)
+		if *w&bit == 0 {
+			s.pendingCount++
+		}
+		*w |= bit
 	} else {
-		s.pendingBits[i>>6] &^= 1 << (i & 63)
+		if *w&bit != 0 {
+			s.pendingCount--
+		}
+		*w &^= bit
 	}
 }
 
@@ -202,6 +214,20 @@ func (s *contextState) setPendingBit(i int, pending bool) {
 // the pending-bit sort. Both ends call it at the top of every cycle,
 // before classifying the new value, so positional codes stay consistent.
 func (s *contextState) step() {
+	// Inlineable fast path: with no pending bits the sort pass is a no-op
+	// (it iterates set bits only and counts no compares), and away from a
+	// division boundary the countdown is a plain decrement. Converged
+	// dictionaries and miss-heavy traces take this on most cycles.
+	if s.pendingCount == 0 && s.untilDivide != 1 {
+		if s.untilDivide > 0 {
+			s.untilDivide--
+		}
+		return
+	}
+	s.stepSlow()
+}
+
+func (s *contextState) stepSlow() {
 	if s.untilDivide > 0 {
 		s.untilDivide--
 		if s.untilDivide == 0 {
@@ -299,7 +325,8 @@ func (s *contextState) findTable(key ctxKey) int {
 		return s.tableIndex.get(key)
 	}
 	for i := range s.table {
-		if s.table[i].valid && s.table[i].key == key {
+		// cur differs on almost every miss; test it before the flags.
+		if e := &s.table[i]; e.key.cur == key.cur && e.valid && e.key.prev == key.prev {
 			return i
 		}
 	}
@@ -315,7 +342,7 @@ func (s *contextState) findSR(key ctxKey) int {
 		return s.srIndex.get(key)
 	}
 	for i := range s.sr {
-		if s.sr[i].valid && s.sr[i].key == key {
+		if e := &s.sr[i]; e.key.cur == key.cur && e.valid && e.key.prev == key.prev {
 			return i
 		}
 	}
@@ -441,6 +468,7 @@ func (s *contextState) reset() {
 	for i := range s.pendingBits {
 		s.pendingBits[i] = 0
 	}
+	s.pendingCount = 0
 }
 
 // checkInvariants verifies Invariants 1 and 2 plus the consistency of the
@@ -511,6 +539,13 @@ func (s *contextState) checkInvariants() error {
 			return fmt.Errorf("sr index holds %d keys, want %d", s.srIndex.len(), valid)
 		}
 	}
+	pop := 0
+	for _, w := range s.pendingBits {
+		pop += bits.OnesCount64(w)
+	}
+	if pop != s.pendingCount {
+		return fmt.Errorf("pending count %d out of sync with bitset population %d", s.pendingCount, pop)
+	}
 	return nil
 }
 
@@ -559,8 +594,9 @@ func (e *contextEncoder) Encode(v uint64) bus.Word {
 }
 
 // encodeStream implements streamEncoder: Encode's per-cycle algorithm
-// with the mask, table size and hot counters hoisted into locals and
-// each coded word recorded straight into the meter stream.
+// with the mask, table size and hot counters hoisted into locals. The
+// channel self-accounts the run's Σ activity (see beginBlock), folded
+// into the meter stream with one AddBlock instead of a per-cycle record.
 // TestContextEncodeStreamMatchesEncode pins it cycle-for-cycle (outputs,
 // ops and dictionary state) to Encode.
 func (e *contextEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
@@ -569,6 +605,7 @@ func (e *contextEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
 	tableSize := t.cfg.TableSize
 	probes := uint64(len(e.st.table) + len(e.st.sr))
 	e.st.ops = &e.ops
+	e.ch.beginBlock()
 	var lastHits, codeSends, rawSends, partial, full uint64
 	for _, v := range vals {
 		v &= mask
@@ -577,30 +614,28 @@ func (e *contextEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
 		partial += probes
 		b := byte(key.cur)
 		full += uint64(e.st.tableBytes[b]) + uint64(e.st.srBytes[b])
-		var out bus.Word
 		tableSlot, srSlot := -1, -1
 		switch {
 		case v == e.st.last:
 			lastHits++
-			out = e.ch.sendCode(0)
 			if tableSlot = e.st.findTable(key); tableSlot < 0 {
 				srSlot = e.st.findSR(key)
 			}
 		default:
 			if tableSlot = e.st.findTable(key); tableSlot >= 0 {
 				codeSends++
-				out = e.ch.sendCode(t.cb.Code(1 + tableSlot))
+				e.ch.sendCode(t.cb.Code(1 + tableSlot))
 			} else if srSlot = e.st.findSR(key); srSlot >= 0 {
 				codeSends++
-				out = e.ch.sendCode(t.cb.Code(1 + tableSize + srSlot))
+				e.ch.sendCode(t.cb.Code(1 + tableSize + srSlot))
 			} else {
 				rawSends++
-				out, _ = e.ch.sendRaw(v)
+				e.ch.sendRaw(v)
 			}
 		}
 		e.st.updateAt(v, key, tableSlot, srSlot)
-		st.Record(out)
 	}
+	st.AddBlock(uint64(len(vals)), e.ch.accT, e.ch.accC, e.ch.state)
 	e.ops.Cycles += uint64(len(vals))
 	e.ops.LastHits += lastHits
 	e.ops.CodeSends += codeSends

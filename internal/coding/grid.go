@@ -2,6 +2,7 @@ package coding
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"buspower/internal/bus"
@@ -44,6 +45,17 @@ var evaluatedCycles atomic.Uint64
 // this around a suite pass to report suite-level throughput.
 func EvaluatedCycles() uint64 { return evaluatedCycles.Load() }
 
+// GridOptions customizes a grid evaluation's shared inputs.
+type GridOptions struct {
+	// Sliced, when non-nil, supplies the bit-sliced transposition of
+	// the trace at the given width — exactly what
+	// bus.NewSlicedTrace(width, trace) would build. Callers holding a
+	// transposition cache (the experiments layer's sliced-plane memo)
+	// plug it in here so repeated grids over the same named trace stop
+	// re-transposing it; a nil return falls back to building one.
+	Sliced func(width int) *bus.SlicedTrace
+}
+
 // EvaluateGrid evaluates every cell against one trace. raw, when
 // non-nil, is a pre-measured raw-bus meter (as from MeasureRawValues)
 // for cells whose data width matches; other widths are measured here
@@ -56,11 +68,25 @@ func EvaluatedCycles() uint64 { return evaluatedCycles.Load() }
 // Coded meter instances; callers that mutate or Reset a meter must
 // Clone it first.
 func EvaluateGrid(cells []GridCell, trace []uint64, raw *bus.Meter, verify VerifyPolicy) ([]Result, error) {
+	return EvaluateGridOpts(cells, trace, raw, verify, GridOptions{})
+}
+
+// EvaluateGridOpts is EvaluateGrid with options.
+func EvaluateGridOpts(cells []GridCell, trace []uint64, raw *bus.Meter, verify VerifyPolicy, opts GridOptions) ([]Result, error) {
+	var sc gridScratch
+	return sc.evaluate(cells, trace, raw, verify, opts)
+}
+
+// evaluate is the grid engine body. sc persists Evaluator scratch and
+// window-family arenas between calls (EvaluateBatch streams a whole
+// suite through one scratch); a zero gridScratch is ready to use.
+func (sc *gridScratch) evaluate(cells []GridCell, trace []uint64, raw *bus.Meter, verify VerifyPolicy, opts GridOptions) ([]Result, error) {
 	if len(cells) == 0 {
 		return nil, nil
 	}
 	results := make([]Result, len(cells))
 	type group struct {
+		key   string
 		t     Transcoder
 		cells []int
 	}
@@ -74,7 +100,7 @@ func EvaluateGrid(cells []GridCell, trace []uint64, raw *bus.Meter, verify Verif
 		key := ConfigKey(t)
 		g := groups[key]
 		if g == nil {
-			g = &group{t: t}
+			g = &group{key: key, t: t}
 			groups[key] = g
 			order = append(order, g)
 		}
@@ -102,9 +128,65 @@ func EvaluateGrid(cells []GridCell, trace []uint64, raw *bus.Meter, verify Verif
 		if sliced == nil {
 			sliced = make(map[int]*bus.SlicedTrace, 1)
 		}
-		s := bus.NewSlicedTrace(width, trace)
+		var s *bus.SlicedTrace
+		if opts.Sliced != nil {
+			s = opts.Sliced(width)
+		}
+		if s == nil {
+			s = bus.NewSlicedTrace(width, trace)
+		}
 		sliced[width] = s
 		return s
+	}
+
+	// Window families: configurations differing only in register size
+	// share one encode pass (see batch.go). Results land keyed by the
+	// member's ConfigKey and are picked up by the per-group loop below.
+	var famRes map[string]famResult
+	if verify.mode != verifyFull {
+		type famGroup struct {
+			ts   []*WindowTranscoder
+			keys []string
+		}
+		var byFam map[string]*famGroup
+		var famOrder []string
+		for _, g := range order {
+			wt, ok := g.t.(*WindowTranscoder)
+			if !ok {
+				continue
+			}
+			fk := fmt.Sprintf("w%d/l%g", wt.width, wt.lambda)
+			if byFam == nil {
+				byFam = make(map[string]*famGroup, 1)
+			}
+			fg := byFam[fk]
+			if fg == nil {
+				fg = &famGroup{}
+				byFam[fk] = fg
+				famOrder = append(famOrder, fk)
+			}
+			fg.ts = append(fg.ts, wt)
+			fg.keys = append(fg.keys, g.key)
+		}
+		for _, fk := range famOrder {
+			fg := byFam[fk]
+			sizes := famSizes(fg.ts)
+			if len(fg.ts) < 2 || sizes == nil {
+				continue // singleton (or aliased sizes): scalar path is as good
+			}
+			sig := fk + fmt.Sprint(sizes)
+			fam := sc.family(sig, fg.ts)
+			rs, err := fam.run(trace, verify)
+			if err != nil {
+				return nil, err
+			}
+			if famRes == nil {
+				famRes = make(map[string]famResult, len(fam.ts))
+			}
+			for j, t := range fam.ts {
+				famRes[ConfigKey(t)] = rs[j]
+			}
+		}
 	}
 
 	// One shared stride tape per data width, deep enough for the largest
@@ -123,12 +205,12 @@ func EvaluateGrid(cells []GridCell, trace []uint64, raw *bus.Meter, verify Verif
 		if maxK != nil {
 			tapes = make(map[int]*strideTape, len(maxK))
 			for w, k := range maxK {
-				tapes[w] = buildStrideTape(w, k, trace)
+				tapes[w] = sharedStrideTape(w, k, trace)
 			}
 		}
 	}
 
-	var ev Evaluator
+	ev := &sc.ev
 	ev.Verify = verify
 	n := uint64(len(trace))
 	for _, g := range order {
@@ -138,7 +220,10 @@ func EvaluateGrid(cells []GridCell, trace []uint64, raw *bus.Meter, verify Verif
 		var ops OpStats
 		var codedWidth int
 		fast := false
-		if verify.mode != verifyFull {
+		if fr, ok := famRes[g.key]; ok {
+			coded, ops, codedWidth, fast = fr.coded, fr.ops, width+2, true
+		}
+		if !fast && verify.mode != verifyFull {
 			switch t := g.t.(type) {
 			case *StrideTranscoder:
 				if tp := tapes[t.width]; tp != nil && t.strides <= tp.maxK {
@@ -221,6 +306,75 @@ type strideTape struct {
 	recs  []uint8
 	hist  []uint64 // hist[0] = LAST hits, hist[m] = cycles with minimal stride m
 	raws  uint64   // cycles with no match at any stride ≤ maxK
+}
+
+// tapeCache memoizes stride tapes across grid evaluations: the li-suite
+// experiments replay the same handful of cached traces through many
+// grids, and each rebuild costs a full prediction pass. An entry keyed
+// on the trace's backing array is sound because the entry itself pins
+// that array — no other trace can occupy its address while the key
+// lives. A tape built deep enough serves every shallower bank (the same
+// replay contract the in-grid sharing relies on), so lookups accept any
+// entry with maxK at least the requested depth.
+type tapeCacheEntry struct {
+	width int
+	trace []uint64 // pins the backing array; its address identifies the trace
+	tape  *strideTape
+}
+
+var (
+	tapeCacheMu sync.Mutex
+	tapeCache   []tapeCacheEntry
+)
+
+// tapeCacheCap bounds the cache; on overflow the whole cache is dropped
+// (entries are cheap to rebuild, and steady state holds one entry per
+// cached trace × width).
+const tapeCacheCap = 64
+
+func sharedStrideTape(width, maxK int, trace []uint64) *strideTape {
+	if len(trace) == 0 {
+		return buildStrideTape(width, maxK, trace)
+	}
+	head := &trace[0]
+	n := len(trace)
+	tapeCacheMu.Lock()
+	for i := range tapeCache {
+		e := &tapeCache[i]
+		if e.width == width && len(e.trace) == n && &e.trace[0] == head && e.tape.maxK >= maxK {
+			tp := e.tape
+			tapeCacheMu.Unlock()
+			return tp
+		}
+	}
+	tapeCacheMu.Unlock()
+	tp := buildStrideTape(width, maxK, trace)
+	tapeCacheMu.Lock()
+	for i := range tapeCache {
+		e := &tapeCache[i]
+		if e.width == width && len(e.trace) == n && &e.trace[0] == head {
+			// A deeper tape supersedes a shallower one for the same trace.
+			if e.tape.maxK < maxK {
+				e.tape = tp
+			}
+			tapeCacheMu.Unlock()
+			return tp
+		}
+	}
+	if len(tapeCache) >= tapeCacheCap {
+		tapeCache = nil
+	}
+	tapeCache = append(tapeCache, tapeCacheEntry{width: width, trace: trace, tape: tp})
+	tapeCacheMu.Unlock()
+	return tp
+}
+
+// ClearStrideTapeCache drops every memoized stride tape (the bench
+// harness's memo-cold phases, via experiments.ClearEvalMemo).
+func ClearStrideTapeCache() {
+	tapeCacheMu.Lock()
+	tapeCache = nil
+	tapeCacheMu.Unlock()
 }
 
 func buildStrideTape(width, maxK int, trace []uint64) *strideTape {
@@ -306,19 +460,19 @@ func (tp *strideTape) evaluate(t *StrideTranscoder, trace []uint64, verify Verif
 			st.Record(w)
 		}
 	}
+	ch.beginBlock()
 	for i := head; i < n; i++ {
 		rec := recs[i]
-		var w bus.Word
 		switch {
 		case rec == 0:
-			w = ch.sendCode(0)
+			// LAST hit: the all-zero code moves nothing.
 		case rec <= K:
-			w = ch.sendCode(codes[rec])
+			ch.sendCode(codes[rec])
 		default:
-			w, _ = ch.sendRaw(trace[i] & mask)
+			ch.sendRaw(trace[i] & mask)
 		}
-		st.Record(w)
 	}
+	st.AddBlock(uint64(n-head), ch.accT, ch.accC, ch.state)
 	st.Flush()
 	if verify.mode == verifySampled {
 		if err := replaySampledFresh(t, trace, verify); err != nil {

@@ -169,6 +169,7 @@ func (e *inversionEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
 	shift := uint(t.width)
 	patterns := t.patterns
 	state := e.state
+	var accT, accC uint64
 	if li, ok := intLambda(t.assumedLambda); ok {
 		for _, v := range vals {
 			v &= mask
@@ -181,8 +182,10 @@ func (e *inversionEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
 					best, bestCost = cand, cost
 				}
 			}
+			tv := state ^ best
+			accT += uint64(bus.Weight(tv))
+			accC += couplingEvents(tv, best&^state, state&^best, pairMask)
 			state = best
-			st.Record(best)
 		}
 	} else {
 		lambda := t.assumedLambda
@@ -197,10 +200,13 @@ func (e *inversionEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
 					best, bestCost = cand, cost
 				}
 			}
+			tv := state ^ best
+			accT += uint64(bus.Weight(tv))
+			accC += couplingEvents(tv, best&^state, state&^best, pairMask)
 			state = best
-			st.Record(best)
 		}
 	}
+	st.AddBlock(uint64(len(vals)), accT, accC, state)
 	e.state = state
 	e.ops.Cycles += uint64(len(vals))
 	e.ops.RawSends += uint64(len(vals))

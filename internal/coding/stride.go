@@ -147,21 +147,21 @@ func (e *strideEncoder) Encode(v uint64) bus.Word {
 }
 
 // encodeStream implements streamEncoder: the per-cycle algorithm of
-// Encode with the op counters hoisted into locals and each coded word
-// recorded straight into the meter stream.
+// Encode with the op counters hoisted into locals; the channel
+// self-accounts the run's Σ activity (see beginBlock), folded into the
+// meter stream with one AddBlock at the end.
 // TestStrideEncodeStreamMatchesEncode pins it cycle-for-cycle.
 func (e *strideEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
 	t := e.t
 	mask := uint64(e.ch.dataMask)
 	strides := t.strides
 	width := t.width
+	e.ch.beginBlock()
 	var lastHits, codeSends, rawSends, partial uint64
 	for _, v := range vals {
 		v &= mask
-		var out bus.Word
 		if v == e.hist.at(0) {
 			lastHits++
-			out = e.ch.sendCode(0)
 		} else {
 			matched := -1
 			for k := 1; k <= strides; k++ {
@@ -173,15 +173,15 @@ func (e *strideEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
 			}
 			if matched > 0 {
 				codeSends++
-				out = e.ch.sendCode(t.cb.Code(matched))
+				e.ch.sendCode(t.cb.Code(matched))
 			} else {
 				rawSends++
-				out, _ = e.ch.sendRaw(v)
+				e.ch.sendRaw(v)
 			}
 		}
 		e.hist.push(v)
-		st.Record(out)
 	}
+	st.AddBlock(uint64(len(vals)), e.ch.accT, e.ch.accC, e.ch.state)
 	e.ops.Cycles += uint64(len(vals))
 	e.ops.LastHits += lastHits
 	e.ops.CodeSends += codeSends

@@ -206,8 +206,9 @@ func (e *windowEncoder) Encode(v uint64) bus.Word {
 
 // encodeStream implements streamEncoder: the same per-cycle algorithm as
 // Encode, with the OpStats counters and the LAST-value register hoisted
-// into locals and each coded word recorded straight into the meter
-// stream — no per-cycle interface dispatch, no counter write-backs.
+// into locals — no per-cycle interface dispatch, no counter write-backs.
+// The channel self-accounts the run's Σ activity (see beginBlock),
+// folded into the meter stream with one AddBlock at the end.
 // TestWindowEncodeStreamMatchesEncode pins it cycle-for-cycle (outputs,
 // ops and dictionary state) to Encode.
 func (e *windowEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
@@ -215,6 +216,7 @@ func (e *windowEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
 	mask := uint64(e.ch.dataMask)
 	nEntries := uint64(len(e.st.entries))
 	last := e.st.last
+	e.ch.beginBlock()
 	var cycles, lastHits, codeSends, rawSends, partial, full uint64
 	for _, v := range vals {
 		v &= mask
@@ -222,28 +224,26 @@ func (e *windowEncoder) encodeStream(vals []uint64, st *bus.MeterStream) {
 		partial += nEntries
 		fm := e.st.byteCount[v&0xFF]
 		full += uint64(fm)
-		var out bus.Word
 		switch {
 		case v == last:
 			lastHits++
-			out = e.ch.sendCode(0)
 		case fm == 0:
 			rawSends++
 			e.st.insert(v)
-			out, _ = e.ch.sendRaw(v)
+			e.ch.sendRaw(v)
 		default:
 			if slot := e.st.find(v); slot >= 0 {
 				codeSends++
-				out = e.ch.sendCode(t.cb.Code(1 + slot))
+				e.ch.sendCode(t.cb.Code(1 + slot))
 			} else {
 				rawSends++
 				e.st.insert(v)
-				out, _ = e.ch.sendRaw(v)
+				e.ch.sendRaw(v)
 			}
 		}
 		last = v
-		st.Record(out)
 	}
+	st.AddBlock(cycles, e.ch.accT, e.ch.accC, e.ch.state)
 	e.st.last = last
 	e.ops.Cycles += cycles
 	e.ops.LastHits += lastHits

@@ -199,7 +199,6 @@ func runExtVLC(cfg Config) (*Table, error) {
 		vlcKey := resultKey{
 			config: fmt.Sprintf("vlc-%d/w%d/l%g", vlcCfg.Entries, vlcCfg.Width, vlcCfg.Lambda),
 			trace:  workloadTraceID(name, "reg", cfg),
-			lambda: evalLambda,
 			verify: cfg.Verify.String(),
 		}
 		vlc, err := vlcMemo.Do(vlcKey, func() (coding.VLCResult, error) {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"buspower/internal/bus"
 	"buspower/internal/coding"
 	"buspower/internal/workload"
@@ -69,14 +71,22 @@ func randomRawMeter(n int) *bus.Meter { return randomBundleFor(n).meter }
 // resultKey identifies one transcoder evaluation: what was encoded
 // (trace), with which exact codec configuration (the canonical
 // coding.ConfigKey string — names alone under-specify, e.g. the context
-// coder's divide period), read at which Λ, under which verification
-// policy. Every policy yields bit-identical Results, but keeping the
-// policy in the key means a -verify=full run re-proves every evaluation
-// instead of inheriting sampled-run entries.
+// coder's divide period), under which verification policy. Every policy
+// yields bit-identical Results, but keeping the policy in the key means
+// a -verify=full run re-proves every evaluation instead of inheriting
+// sampled-run entries.
+//
+// The metered Λ is deliberately NOT part of the key: an encoder's output
+// stream depends only on its own configuration (including its assumed Λ,
+// which ConfigKey captures), never on the Λ the meters are read at — the
+// same invariant the grid engine already exploits when it fans
+// equal-config cells of a Λ sweep out from one encode. The memoized
+// Result therefore carries λ-independent meters and counts, and each
+// retrieval stamps its own Lambda before use, so one encode serves every
+// Λ any experiment asks for.
 type resultKey struct {
 	config string
 	trace  traceID
-	lambda float64
 	verify string
 }
 
@@ -85,13 +95,44 @@ type resultKey struct {
 // tables all re-evaluate overlapping (transcoder, trace, Λ) points, and
 // within one invocation each point is computed once. It subsumes the
 // window-result memo the energy experiments previously kept for
-// themselves.
-var resultMemo = newSFMemo[resultKey, coding.Result](1024)
+// themselves. The full -exp all sweep computes ~1.6k distinct entries;
+// 2048 holds them all without mid-run eviction (a Result is one cloned
+// meter plus counters, well under 1 KiB).
+var resultMemo = newSFMemo[resultKey, coding.Result](2048)
 
 // vlcMemo is the variable-length-coding counterpart: VLC evaluations
 // return their own result type (beat-accurate), so they get a small memo
 // of their own on the same machinery.
 var vlcMemo = newSFMemo[resultKey, coding.VLCResult](64)
+
+// The stateless grid cells (raw, Gray, spatial) meter on a bit-sliced
+// transposition of the trace. The transposition depends only on
+// (trace identity, width) — content-addressed exactly like the trace
+// cache — so grid calls, serve requests and jobs share one build per
+// named trace instead of re-transposing it every EvaluateGrid call.
+// An entry is ~n/8 bytes per wire (≈0.5 MB for a 120k-cycle 32-wire
+// trace); 32 entries bound the cache well under the trace cache's own
+// footprint.
+type slicedKey struct {
+	trace traceID
+	width int
+}
+
+var slicedMemo = newSFMemo[slicedKey, *bus.SlicedTrace](32)
+
+// slicedProviderFor adapts the sliced-plane cache to
+// coding.GridOptions.Sliced for one trace.
+func slicedProviderFor(id traceID, tr []uint64) func(int) *bus.SlicedTrace {
+	return func(width int) *bus.SlicedTrace {
+		s, err := slicedMemo.Do(slicedKey{trace: id, width: width}, func() (*bus.SlicedTrace, error) {
+			return bus.NewSlicedTrace(width, tr), nil
+		})
+		if err != nil {
+			return nil
+		}
+		return s
+	}
+}
 
 // EvalMemoStats reports the evaluation-result memo's counters.
 func EvalMemoStats() MemoStats { return resultMemo.Stats() }
@@ -99,12 +140,18 @@ func EvalMemoStats() MemoStats { return resultMemo.Stats() }
 // RawMeterMemoStats reports the shared raw-bus meter memo's counters.
 func RawMeterMemoStats() MemoStats { return rawMeterMemo.Stats() }
 
+// SlicedCacheStats reports the sliced-plane cache's counters.
+func SlicedCacheStats() MemoStats { return slicedMemo.Stats() }
+
 // ClearEvalMemo returns the evaluation-result memos (fixed-length and
-// VLC) to their cold state (the bench harness's memo-cold phase;
-// raw-meter and trace caches are governed separately).
+// VLC) and the sliced-plane cache to their cold state (the bench
+// harness's memo-cold phase; raw-meter and trace caches are governed
+// separately).
 func ClearEvalMemo() {
 	resultMemo.Reset()
 	vlcMemo.Reset()
+	slicedMemo.Reset()
+	coding.ClearStrideTapeCache()
 }
 
 // evalResultKeyed memoizes one transcoder evaluation. fetch returns the
@@ -115,7 +162,7 @@ func ClearEvalMemo() {
 // the evaluator before it is retained.
 func evalResultKeyed(ev *coding.Evaluator, tc coding.Transcoder, id traceID, lambda float64, cfg Config,
 	fetch func() ([]uint64, *bus.Meter, error)) (coding.Result, error) {
-	key := resultKey{config: coding.ConfigKey(tc), trace: id, lambda: lambda, verify: cfg.Verify.String()}
+	key := resultKey{config: coding.ConfigKey(tc), trace: id, verify: cfg.Verify.String()}
 	res, err := resultMemo.Do(key, func() (coding.Result, error) {
 		tr, raw, err := fetch()
 		if err != nil {
@@ -130,6 +177,7 @@ func evalResultKeyed(ev *coding.Evaluator, tc coding.Transcoder, id traceID, lam
 		res.Coded = res.Coded.Clone()
 		return res, nil
 	})
+	res.Lambda = lambda
 	// Evaluation errors are deterministic in the key and stay cached;
 	// cancellations and per-request timeouts (the serving path) are not a
 	// property of the key, and the memo itself un-caches them on
@@ -161,11 +209,12 @@ func evalGridPoints(points []gridPoint, id traceID, tr []uint64, raw *bus.Meter,
 	var missIdx []int
 	var cells []coding.GridCell
 	for i, p := range points {
-		keys[i] = resultKey{config: coding.ConfigKey(p.tc), trace: id, lambda: p.lambda, verify: cfg.Verify.String()}
+		keys[i] = resultKey{config: coding.ConfigKey(p.tc), trace: id, verify: cfg.Verify.String()}
 		if res, err, ok := resultMemo.Peek(keys[i]); ok {
 			if err != nil {
 				return nil, err
 			}
+			res.Lambda = p.lambda
 			out[i] = res
 			continue
 		}
@@ -175,7 +224,8 @@ func evalGridPoints(points []gridPoint, id traceID, tr []uint64, raw *bus.Meter,
 	if len(missIdx) == 0 {
 		return out, nil
 	}
-	results, err := coding.EvaluateGrid(cells, tr, raw, cfg.Verify)
+	results, err := coding.EvaluateGridOpts(cells, tr, raw, cfg.Verify,
+		coding.GridOptions{Sliced: slicedProviderFor(id, tr)})
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +241,98 @@ func evalGridPoints(points []gridPoint, id traceID, tr []uint64, raw *bus.Meter,
 		if err != nil {
 			return nil, err
 		}
+		stored.Lambda = points[i].lambda
 		out[i] = stored
+	}
+	return out, nil
+}
+
+// batchTraceInput is one trace of a multi-trace sweep: identity (for
+// memo keys), values, and the shared raw meter (nil to measure inline).
+type batchTraceInput struct {
+	id  traceID
+	tr  []uint64
+	raw *bus.Meter
+}
+
+// evalGridPointsMulti is evalGridPoints fanned out over a whole trace
+// suite through coding.EvaluateBatch, which pins one set of transcoder
+// scratch (encoder dictionaries, window-family arenas) across the
+// traces. The per-point memo contract is identical: per-trace Peek for
+// hits, traces with the same miss set batch together (one scratch
+// warm-up for the whole suite — the common cold case), odd miss sets
+// batch among themselves, and every computed cell publishes under its
+// own key. Results are trace-major, aligned with traces × points.
+func evalGridPointsMulti(points []gridPoint, traces []batchTraceInput, cfg Config) ([][]coding.Result, error) {
+	configs := make([]string, len(points))
+	for i, p := range points {
+		configs[i] = coding.ConfigKey(p.tc)
+	}
+	verify := cfg.Verify.String()
+	out := make([][]coding.Result, len(traces))
+	keys := make([][]resultKey, len(traces))
+	missIdx := make([][]int, len(traces))
+	groups := make(map[string][]int, 1) // miss-set signature → trace indices
+	var order []string
+	for ti := range traces {
+		bt := &traces[ti]
+		out[ti] = make([]coding.Result, len(points))
+		keys[ti] = make([]resultKey, len(points))
+		var miss []int
+		for i, p := range points {
+			k := resultKey{config: configs[i], trace: bt.id, verify: verify}
+			keys[ti][i] = k
+			if res, err, ok := resultMemo.Peek(k); ok {
+				if err != nil {
+					return nil, err
+				}
+				res.Lambda = p.lambda
+				out[ti][i] = res
+				continue
+			}
+			miss = append(miss, i)
+		}
+		if len(miss) == 0 {
+			continue
+		}
+		missIdx[ti] = miss
+		sig := fmt.Sprint(miss)
+		if _, ok := groups[sig]; !ok {
+			order = append(order, sig)
+		}
+		groups[sig] = append(groups[sig], ti)
+	}
+	for _, sig := range order {
+		tis := groups[sig]
+		miss := missIdx[tis[0]]
+		cells := make([]coding.GridCell, len(miss))
+		for j, i := range miss {
+			cells[j] = coding.GridCell{T: points[i].tc, Lambda: points[i].lambda}
+		}
+		bts := make([]coding.BatchTrace, len(tis))
+		for j, ti := range tis {
+			bts[j] = coding.BatchTrace{
+				Values: traces[ti].tr,
+				Raw:    traces[ti].raw,
+				Sliced: slicedProviderFor(traces[ti].id, traces[ti].tr),
+			}
+		}
+		results, err := coding.EvaluateBatch(cells, bts, cfg.Verify)
+		if err != nil {
+			return nil, err
+		}
+		for j, ti := range tis {
+			for jj, i := range miss {
+				res := results[j][jj]
+				res.Coded = res.Coded.Clone()
+				stored, err := resultMemo.Do(keys[ti][i], func() (coding.Result, error) { return res, nil })
+				if err != nil {
+					return nil, err
+				}
+				stored.Lambda = points[i].lambda
+				out[ti][i] = stored
+			}
+		}
 	}
 	return out, nil
 }

@@ -265,16 +265,30 @@ func TestEvalResultMemoizes(t *testing.T) {
 	if hits := st.Hits - before.Hits; hits != 1 {
 		t.Fatalf("got %d hits, want exactly 1 (the rebuilt-instance call)", hits)
 	}
-	// Different Λ and different verify policy are distinct entries.
-	if _, err := evalResult(&ev, build(), id, vals, 2.0, raw, cfg); err != nil {
+	// A different metered Λ shares the same entry — encoder output never
+	// depends on the Λ the meters are read at — and the retrieved Result
+	// is stamped with the requested Λ.
+	atTwo, err := evalResult(&ev, build(), id, vals, 2.0, raw, cfg)
+	if err != nil {
 		t.Fatal(err)
 	}
+	if atTwo.Lambda != 2.0 {
+		t.Fatalf("Λ=2 retrieval carries Λ=%g", atTwo.Lambda)
+	}
+	if atTwo.Coded != a.Coded {
+		t.Fatal("Λ=2 retrieval recomputed instead of sharing the Λ=1 encode")
+	}
+	if st2 := EvalMemoStats(); st2.Hits != st.Hits+1 {
+		t.Fatalf("Λ change missed the memo (hits %d -> %d)", st.Hits, st2.Hits)
+	}
+	// A different verify policy is still a distinct entry.
+	st = EvalMemoStats()
 	cfgSampled := Config{Verify: coding.VerifySampled(0)}
 	if _, err := evalResult(&ev, build(), id, vals, evalLambda, raw, cfgSampled); err != nil {
 		t.Fatal(err)
 	}
 	if st2 := EvalMemoStats(); st2.Hits != st.Hits {
-		t.Fatalf("Λ or verify-policy change hit the memo (hits %d -> %d)", st.Hits, st2.Hits)
+		t.Fatalf("verify-policy change hit the memo (hits %d -> %d)", st.Hits, st2.Hits)
 	}
 }
 

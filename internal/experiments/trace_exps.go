@@ -98,11 +98,12 @@ func runFig8(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
+		prof := stats.NewWindowUniqueProfile(tr)
 		for _, w := range windows {
 			if w > len(tr) {
 				continue
 			}
-			out.AddRow(name, bus, w, stats.WindowUniqueFraction(tr, w))
+			out.AddRow(name, bus, w, prof.Fraction(w))
 		}
 		return nil
 	})

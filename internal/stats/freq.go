@@ -51,46 +51,75 @@ func CoverageAt(cdf []float64, n int) float64 {
 // window). Windows slide by one position. A window size of 1 always yields
 // 1. It returns 0 when the trace is shorter than the window.
 func WindowUniqueFraction(trace []uint64, window int) float64 {
-	if window <= 0 || len(trace) < window {
+	return NewWindowUniqueProfile(trace).Fraction(window)
+}
+
+// WindowUniqueProfile answers WindowUniqueFraction queries for any window
+// size from one hashing pass over the trace. Position i is unique in the
+// window starting at j iff its previous occurrence of the same value lies
+// before j and its next occurrence lies at or beyond j+window, so its
+// contribution to the sum over all windows is the length of an interval of
+// valid j — arithmetic on the (window-independent) prev/next occurrence
+// arrays, with no per-window dictionary maintenance.
+type WindowUniqueProfile struct {
+	n          int
+	prev, next []int32
+}
+
+// NewWindowUniqueProfile indexes the trace's previous/next occurrence
+// structure. Traces are bounded well below 2^31 values (the trace reader
+// rejects counts over 2^30), which keeps the occurrence links in int32.
+func NewWindowUniqueProfile(trace []uint64) *WindowUniqueProfile {
+	n := len(trace)
+	p := &WindowUniqueProfile{
+		n:    n,
+		prev: make([]int32, n),
+		next: make([]int32, n),
+	}
+	last := make(map[uint64]int32, 1024)
+	for i, v := range trace {
+		if j, ok := last[v]; ok {
+			p.prev[i] = j
+			p.next[j] = int32(i)
+		} else {
+			p.prev[i] = -1
+		}
+		p.next[i] = int32(n)
+		last[v] = int32(i)
+	}
+	return p
+}
+
+// Fraction returns the average unique fraction for one window size. The
+// accumulated sum is an integer (every window contributes a whole count),
+// exactly representable in float64 for any realistic trace, so the result
+// is bit-identical to the sliding-dictionary formulation it replaced.
+func (p *WindowUniqueProfile) Fraction(window int) float64 {
+	if window <= 0 || p.n < window {
 		return 0
 	}
-	counts := make(map[uint64]int, window*2)
-	unique := 0 // number of values with count exactly 1 in current window
-	add := func(v uint64) {
-		c := counts[v]
-		counts[v] = c + 1
-		switch c {
-		case 0:
-			unique++
-		case 1:
-			unique--
+	last := p.n - window
+	var sum uint64
+	for i := 0; i < p.n; i++ {
+		lo := i - window + 1
+		if lo < 0 {
+			lo = 0
+		}
+		if pv := int(p.prev[i]) + 1; pv > lo {
+			lo = pv
+		}
+		hi := i
+		if nx := int(p.next[i]) - window; nx < hi {
+			hi = nx
+		}
+		if last < hi {
+			hi = last
+		}
+		if hi >= lo {
+			sum += uint64(hi - lo + 1)
 		}
 	}
-	remove := func(v uint64) {
-		c := counts[v]
-		switch c {
-		case 1:
-			delete(counts, v)
-			unique--
-		case 2:
-			counts[v] = 1
-			unique++
-		default:
-			counts[v] = c - 1
-		}
-	}
-	for i := 0; i < window; i++ {
-		add(trace[i])
-	}
-	sum := float64(unique)
-	n := 1
-	for i := window; i < len(trace); i++ {
-		remove(trace[i-window])
-		add(trace[i])
-		sum += float64(unique)
-		n++
-	}
-	return sum / float64(n) / float64(window)
+	return float64(sum) / float64(last+1) / float64(window)
 }
 
 // UniqueCount returns the number of distinct values in the trace.

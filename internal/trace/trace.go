@@ -131,8 +131,9 @@ func Characterize(values []uint64, windows []int) Characteristics {
 		CDF:          stats.FrequencyCDF(values),
 		WindowUnique: make(map[int]float64, len(windows)),
 	}
+	prof := stats.NewWindowUniqueProfile(values)
 	for _, w := range windows {
-		c.WindowUnique[w] = stats.WindowUniqueFraction(values, w)
+		c.WindowUnique[w] = prof.Fraction(w)
 	}
 	return c
 }
