@@ -42,6 +42,15 @@ func Kernels() []Kernel {
 		{"Window.Encode/128", benchWindowEncode(128)},
 		{"Context.Encode/16", benchContextEncode(16)},
 		{"Context.Encode/128", benchContextEncode(128)},
+		{"Enum.Encode/optmem-32+2", benchEnumEncode(func() (coding.Transcoder, error) {
+			return coding.NewOptMem(32, 2)
+		})},
+		{"Enum.Encode/vc-32+2", benchEnumEncode(func() (coding.Transcoder, error) {
+			return coding.NewVC(32, 2)
+		})},
+		{"Enum.Encode/lowweight-32g4+1", benchEnumEncode(func() (coding.Transcoder, error) {
+			return coding.NewLowWeight(32, 4, 1)
+		})},
 		{"Coding.EvaluateSweep/window", benchEvaluateSweep},
 		{"Evaluate/window-8", benchEvaluateE2E(8, func() (coding.Transcoder, error) {
 			return coding.NewWindow(32, 8, 1)
@@ -55,6 +64,7 @@ func Kernels() []Kernel {
 		{"Bus.SlicedMeter/32x8k", benchSlicedMeter},
 		{"Grid.Stateless/raw-inv-gray", benchGridStateless},
 		{"Grid.Stride/k1-8", benchGridStride},
+		{"Grid.Optimal/4-family", benchGridOptimal},
 		{"Batch.Window/8-128", benchBatchWindow},
 		{"Batch.MultiTrace/li-suite", benchBatchMultiTrace},
 		{"CPU.Simulate/li-50k", benchSimulate},
@@ -182,6 +192,51 @@ func benchContextEncode(table int) func(b *B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			enc.Encode(trace[i&8191])
+		}
+	}
+}
+
+// benchEnumEncode measures the enumerative rank/unrank datapath of the
+// optimal-codebook coders — a per-cycle O(wires) chain of binomial
+// lookups, the opposite cost shape from the dictionary coders' probes.
+func benchEnumEncode(build func() (coding.Transcoder, error)) func(b *B) {
+	return func(b *B) {
+		trace := dictTrace(8192, 48)
+		tc, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc := tc.NewEncoder()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			enc.Encode(trace[i&8191])
+		}
+	}
+}
+
+// benchGridOptimal fans the four optimal-codebook coders out of one
+// EvaluateGrid pass, exercising their materialize-and-slice fast paths
+// the way the extopt experiment runs them.
+func benchGridOptimal(b *B) {
+	vals := dictTrace(8192, 48)
+	raw := coding.MeasureRawValues(32, vals)
+	var cells []coding.GridCell
+	for _, spec := range []string{
+		"optmem:extra=2", "vc:extra=2", "lowweight:groups=4,extra=1", "dvs:extra=2,vdd=80",
+	} {
+		tc, err := coding.BuildScheme(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = append(cells, coding.GridCell{T: tc, Lambda: 1})
+	}
+	b.SetBytes(int64(len(vals)) * 8 * int64(len(cells)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coding.EvaluateGrid(cells, vals, raw, coding.VerifySampled(0)); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -23,6 +23,12 @@ const (
 	// InversionDesign is the standard-cell inversion coder with a
 	// carry-save-adder majority voter (§5.4.1).
 	InversionDesign
+	// EnumerativeDesign is the binomial-coefficient rank/unrank datapath
+	// of the optimal-codebook coders (optmem/vc/lowweight/dvs): a chain
+	// of conditional adders, no CAM array, no shift registers. Its
+	// entries parameter is the datapath size in normalized 32-bit adder
+	// stages (Transcoder.Stages()), not a dictionary size.
+	EnumerativeDesign
 )
 
 // String returns the design's display name.
@@ -32,6 +38,8 @@ func (k DesignKind) String() string {
 		return "window"
 	case ContextDesign:
 		return "context"
+	case EnumerativeDesign:
+		return "enumerative"
 	default:
 		return "inversion"
 	}
@@ -206,6 +214,16 @@ func entryScale(entries int) float64 {
 	return 0.35 + 0.65*float64(entries)/8.0
 }
 
+// enumScale models the enumerative datapath against the same anchors:
+// fixed input/output latching and control (~25% of the 8-entry window
+// design — no CAM array to precharge) plus adder stages that grow
+// linearly. A monolithic 34-wire rank datapath (~36 stages) lands near
+// the window design's cost; the grouped low-weight codes come in well
+// under it — the hardware argument of PAPERS.md #3.
+func enumScale(stages int) float64 {
+	return 0.25 + 0.65*float64(stages)/32.0
+}
+
 // contextOverhead reflects §5.3.4: counters and counter-match circuitry
 // occupy about a third of the context design's area on top of the
 // window machinery, with commensurate clocking energy.
@@ -237,6 +255,18 @@ func Characterize(tech wire.Technology, kind DesignKind, entries int) (Character
 		c.DelayNS = inversionTable2.delay
 		c.CycleTimeNS = inversionTable2.cycle
 		return c, nil
+	case EnumerativeDesign:
+		if entries < 1 {
+			return Characteristics{}, fmt.Errorf("circuit: stages %d < 1", entries)
+		}
+		s := enumScale(entries)
+		c.AreaUM2 = row.area * s
+		c.OpEnergyPJ = row.op * s
+		c.LeakagePJ = row.leak * s
+		// The conditional-adder chain is a longer ripple path than the
+		// window design's parallel CAM probe.
+		c.DelayNS = row.delay * 1.2
+		return c, nil
 	case WindowDesign, ContextDesign:
 		if entries < 1 {
 			return Characteristics{}, fmt.Errorf("circuit: entries %d < 1", entries)
@@ -262,3 +292,19 @@ func Characterize(tech wire.Technology, kind DesignKind, entries int) (Character
 // energy at 0.13µm — §5.4.3 reports 1.76 pJ on average: the carry-save
 // adder majority voter charges on every cycle regardless of traffic.
 func InversionCoderEnergyPJ() float64 { return inversionTable2.op }
+
+// DVSOverheadPJ returns the per-cycle energy of the timing-error
+// detection machinery a DVS-operated bus needs (Kaul et al., PAPERS.md
+// #4): one Razor-style double-sampling latch per coded wire plus the
+// retransmit handshake, priced at a fraction of a counter stage per wire
+// and scaled with the node's dynamic-energy factor.
+func DVSOverheadPJ(t wire.Technology, wires int) (float64, error) {
+	if wires < 1 {
+		return 0, fmt.Errorf("circuit: dvs overhead for %d wires", wires)
+	}
+	s, err := techEnergyScale(t)
+	if err != nil {
+		return 0, err
+	}
+	return 0.012 * float64(wires) * s, nil
+}

@@ -251,6 +251,34 @@ func (sc *gridScratch) evaluate(cells []GridCell, trace []uint64, raw *bus.Meter
 				}
 				coded = spatialCodedMeter(t, trace)
 				codedWidth, fast = 1<<uint(t.width), true
+			// The enumerative coders (optmem and the prefix-XOR transition
+			// codes) materialize their coded streams and meter lane-parallel;
+			// their op counts are formulaic (see gridOps), so the fast path
+			// reproduces the scalar encoder's stats exactly.
+			case *OptMemTranscoder:
+				if err := verifyStatelessSampled(t, trace, verify); err != nil {
+					return nil, err
+				}
+				coded, ops = optMemCodedMeter(t, trace), t.gridOps(n)
+				codedWidth, fast = t.wires, true
+			case *VCTranscoder:
+				if err := verifyStatelessSampled(t, trace, verify); err != nil {
+					return nil, err
+				}
+				coded, ops = vcCodedMeter(t, trace), t.gridOps(n)
+				codedWidth, fast = t.wires, true
+			case *LowWeightTranscoder:
+				if err := verifyStatelessSampled(t, trace, verify); err != nil {
+					return nil, err
+				}
+				coded, ops = lowWeightCodedMeter(t, trace), t.gridOps(n)
+				codedWidth, fast = t.wires, true
+			case *DVSTranscoder:
+				if err := verifyStatelessSampled(t, trace, verify); err != nil {
+					return nil, err
+				}
+				coded, ops = dvsCodedMeter(t, trace), t.gridOps(n)
+				codedWidth, fast = t.wires+1, true
 			}
 		}
 		if !fast {

@@ -73,6 +73,16 @@ func gridTestCells(t *testing.T, width int) []GridCell {
 	mk(w, err, 1)
 	ctx, err := NewContext(ContextConfig{Width: width, TableSize: 16, ShiftEntries: 4, DividePeriod: 64, Lambda: 1})
 	mk(ctx, err, 1)
+	// The optimal-codebook families: materialized fast paths with
+	// formulaic ops, λ fan-out over one config for vc.
+	om, err := NewOptMem(width, 2)
+	mk(om, err, 1)
+	vc, err := NewVC(width, 2)
+	mk(vc, err, 1, 2)
+	lw, err := NewLowWeight(width, 4, 1)
+	mk(lw, err, 1)
+	dvs, err := NewDVS(width, 2, 80)
+	mk(dvs, err, 1)
 	return cells
 }
 
@@ -320,6 +330,15 @@ func FuzzGridMatchesScalar(f *testing.F) {
 			t.Fatal(err)
 		}
 		cells = append(cells, GridCell{T: NewRaw(width), Lambda: 1}, GridCell{T: g, Lambda: 1})
+		vc, err := NewVC(width, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lw, err := NewLowWeight(width, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, GridCell{T: vc, Lambda: 1}, GridCell{T: lw, Lambda: 1})
 		got, err := EvaluateGrid(cells, trace, nil, VerifySampled(32))
 		if err != nil {
 			t.Fatal(err)

@@ -31,6 +31,12 @@ import (
 //	context     table=N (1..4096), sr=N (1..4096),
 //	            divide=N (0..2^30), transition=BOOL
 //	                                    frequency-table transcoder
+//	optmem      extra=N (1..8)          optimal memoryless codebook
+//	vc          extra=N (1..8)          Valentini–Chiani transition code
+//	lowweight   groups=N (1..8), extra=N (1..4)
+//	                                    practical low-weight code
+//	dvs         extra=N (1..8), vdd=N (50..100)
+//	                                    voltage-scaled transition code
 //
 // Parsing is strict: unknown kinds or keys, duplicate keys, out-of-range
 // values and malformed numbers are all errors, so a typo can never
@@ -45,11 +51,16 @@ type SchemeSpec struct {
 	// Lambda is the assumed Λ of the scheme's cost function.
 	Lambda float64
 	// Entries holds the kind's primary size parameter: window entries,
-	// stride count, inversion pattern-set size, partial bus-invert groups
-	// or context table size. Zero for kinds without one.
+	// stride count, inversion pattern-set size, partial bus-invert or
+	// low-weight groups, or context table size. Zero for kinds without one.
 	Entries int
 	// SR is the context coder's shift-register size.
 	SR int
+	// Extra is the enumerative coders' redundant-wire count (per group
+	// for lowweight). Zero for other kinds.
+	Extra int
+	// Vdd is the dvs coder's operating supply in percent of nominal.
+	Vdd int
 	// Divide is the context coder's counter division period.
 	Divide int
 	// Transition selects the context coder's transition-based flavour.
@@ -81,6 +92,10 @@ var schemeKinds = map[string]schemeKind{
 	"stride":    {keys: []string{"strides"}, defaults: SchemeSpec{Entries: 4}},
 	"window":    {keys: []string{"entries"}, defaults: SchemeSpec{Entries: 8}},
 	"context":   {keys: []string{"table", "sr", "divide", "transition"}, defaults: SchemeSpec{Entries: 16, SR: 8, Divide: 4096}},
+	"optmem":    {keys: []string{"extra"}, defaults: SchemeSpec{Extra: 2}},
+	"vc":        {keys: []string{"extra"}, defaults: SchemeSpec{Extra: 2}},
+	"lowweight": {keys: []string{"groups", "extra"}, defaults: SchemeSpec{Entries: 4, Extra: 1}},
+	"dvs":       {keys: []string{"extra", "vdd"}, defaults: SchemeSpec{Extra: 2, Vdd: 80}},
 }
 
 // SchemeKinds lists the accepted scheme kinds in sorted order.
@@ -175,11 +190,31 @@ func (spec *SchemeSpec) setParam(kind schemeKind, key, val string) error {
 			}
 			spec.Entries = n
 		case "groups", "strides", "entries", "table":
-			n, err := intParam(1, maxSchemeEntries)
+			hi := maxSchemeEntries
+			if spec.Kind == "lowweight" {
+				hi = 8 // groups: one enumerative datapath each
+			}
+			n, err := intParam(1, hi)
 			if err != nil {
 				return err
 			}
 			spec.Entries = n
+		case "extra":
+			hi := 8
+			if spec.Kind == "lowweight" {
+				hi = 4 // per group
+			}
+			n, err := intParam(1, hi)
+			if err != nil {
+				return err
+			}
+			spec.Extra = n
+		case "vdd":
+			n, err := intParam(50, 100)
+			if err != nil {
+				return err
+			}
+			spec.Vdd = n
 		case "sr":
 			n, err := intParam(1, maxSchemeEntries)
 			if err != nil {
@@ -225,6 +260,10 @@ func (spec SchemeSpec) String() string {
 			put(key, strconv.Itoa(spec.Entries))
 		case "sr":
 			put(key, strconv.Itoa(spec.SR))
+		case "extra":
+			put(key, strconv.Itoa(spec.Extra))
+		case "vdd":
+			put(key, strconv.Itoa(spec.Vdd))
 		case "divide":
 			put(key, strconv.Itoa(spec.Divide))
 		case "transition":
@@ -266,6 +305,14 @@ func (spec SchemeSpec) Build() (Transcoder, error) {
 		return NewStride(spec.Width, spec.Entries, spec.Lambda)
 	case "window":
 		return NewWindow(spec.Width, spec.Entries, spec.Lambda)
+	case "optmem":
+		return NewOptMem(spec.Width, spec.Extra)
+	case "vc":
+		return NewVC(spec.Width, spec.Extra)
+	case "lowweight":
+		return NewLowWeight(spec.Width, spec.Entries, spec.Extra)
+	case "dvs":
+		return NewDVS(spec.Width, spec.Extra, spec.Vdd)
 	case "context":
 		return NewContext(ContextConfig{
 			Width:           spec.Width,

@@ -28,6 +28,14 @@ func TestParseSchemeSpec(t *testing.T) {
 		{"context:table=64,sr=4,divide=1024,transition=true",
 			SchemeSpec{Kind: "context", Width: 32, Lambda: 1, Entries: 64, SR: 4, Divide: 1024, Transition: true},
 			"context:table=64,sr=4,divide=1024,transition=true"},
+		{"optmem", SchemeSpec{Kind: "optmem", Width: 32, Lambda: 1, Extra: 2}, "optmem:extra=2"},
+		{"optmem:extra=4,width=16", SchemeSpec{Kind: "optmem", Width: 16, Lambda: 1, Extra: 4}, "optmem:extra=4,width=16"},
+		{"vc", SchemeSpec{Kind: "vc", Width: 32, Lambda: 1, Extra: 2}, "vc:extra=2"},
+		{"vc:extra=1", SchemeSpec{Kind: "vc", Width: 32, Lambda: 1, Extra: 1}, "vc:extra=1"},
+		{"lowweight", SchemeSpec{Kind: "lowweight", Width: 32, Lambda: 1, Entries: 4, Extra: 1}, "lowweight:groups=4,extra=1"},
+		{"lowweight:extra=2,groups=8", SchemeSpec{Kind: "lowweight", Width: 32, Lambda: 1, Entries: 8, Extra: 2}, "lowweight:groups=8,extra=2"},
+		{"dvs", SchemeSpec{Kind: "dvs", Width: 32, Lambda: 1, Extra: 2, Vdd: 80}, "dvs:extra=2,vdd=80"},
+		{"dvs:vdd=65,extra=3", SchemeSpec{Kind: "dvs", Width: 32, Lambda: 1, Extra: 3, Vdd: 65}, "dvs:extra=3,vdd=65"},
 	}
 	for _, c := range cases {
 		spec, err := ParseSchemeSpec(c.in)
@@ -74,6 +82,17 @@ func TestParseSchemeSpecRejects(t *testing.T) {
 		{"context:transition=maybe", "not a boolean"},
 		{"context:divide=-1", "outside"},
 		{"inversion:patterns=9", "outside"},
+		{"optmem:extra=0", "outside"},
+		{"optmem:extra=9", "outside"},
+		{"optmem:entries=4", "does not take parameter"},
+		{"vc:vdd=80", "does not take parameter"},
+		{"vc:extra=9", "outside"},
+		{"lowweight:groups=9", "outside"},
+		{"lowweight:extra=5", "outside"},
+		{"lowweight:patterns=2", "does not take parameter"},
+		{"dvs:vdd=49", "outside"},
+		{"dvs:vdd=101", "outside"},
+		{"dvs:groups=2", "does not take parameter"},
 	}
 	for _, c := range cases {
 		if _, err := ParseSchemeSpec(c.in); err == nil {
@@ -94,6 +113,8 @@ func TestBuildSchemeRoundTrips(t *testing.T) {
 		"pbi:groups=4", "stride:strides=4", "window:entries=8",
 		"context:table=16,sr=8,divide=1024,transition=true",
 		"context:table=16,sr=8,divide=1024",
+		"optmem:extra=2", "vc:extra=3", "lowweight:groups=4,extra=1",
+		"dvs:extra=2,vdd=70",
 	}
 	trace := []uint64{0, 1, 2, 3, 0xdeadbeef, 42, 42, 42, 7, 0}
 	for _, s := range specs {
@@ -121,6 +142,10 @@ func TestBuildSchemeCombinationErrors(t *testing.T) {
 		"spatial",                        // spatial needs width <= 6
 		"window:entries=100,width=8",     // codebook larger than width 8 admits
 		"context:table=90,sr=90,width=8", // ditto
+		"optmem:extra=2,width=61",        // 63 coded wires
+		"vc:extra=8,width=55",            // ditto
+		"lowweight:groups=8,width=4",     // more groups than bits
+		"dvs:extra=2,width=60",           // 63 wires with the parity line
 	} {
 		if _, err := BuildScheme(s); err == nil {
 			t.Errorf("BuildScheme(%q) succeeded, want error", s)

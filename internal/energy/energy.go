@@ -155,6 +155,42 @@ func (a Analysis) EnergyRemovedFraction() float64 {
 	return 1 - a.codedCycle/a.rawCycle
 }
 
+// TimingErrorRate models the probability that a bus cycle misses timing
+// at relative supply voltage s (1.0 = nominal). Below nominal the error
+// rate climbs exponentially toward certainty near the circuit's minimum
+// operating point (~0.45·Vdd), the characteristic wall measured for
+// Razor-style designs (PAPERS.md #4). At or above nominal it is zero.
+func TimingErrorRate(s float64) float64 {
+	if s >= 1 {
+		return 0
+	}
+	r := math.Pow(10, -15*(s-0.45))
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// WithVoltageScale rescales the coded side of the analysis for a bus
+// driven at relative supply voltage s — the DVS trade of PAPERS.md #4:
+// spend coding headroom on a lower rail instead of fewer transitions.
+// Dynamic energy scales as s²; timing errors at the reduced rail force
+// retransmits that replay a fraction of cycles; the per-cycle
+// error-detection machinery costs ecPJPerCycle, itself on the scaled
+// rail; leakage falls roughly linearly with Vdd. The raw reference bus
+// stays at nominal voltage — that asymmetry is exactly the comparison
+// the crossover verdict makes. Out-of-range s (≤0 or >1) is a no-op.
+func (a Analysis) WithVoltageScale(s, ecPJPerCycle float64) Analysis {
+	if s <= 0 || s > 1 {
+		return a
+	}
+	f := s * s * (1 + TimingErrorRate(s))
+	a.codedCycle *= f
+	a.pairPJ = a.pairPJ*f + ecPJPerCycle*s*s
+	a.leakPJ *= s
+	return a
+}
+
 // Budget is a standalone helper for Figure 26: the per-cycle energy
 // budget of a transcoding result at one technology and wire length,
 // without requiring a circuit design.

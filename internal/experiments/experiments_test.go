@@ -35,6 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
 		"fig26", "fig35", "fig36", "fig37", "fig38",
 		"extaddr", "extvlc", "extscale", "extctx",
+		"extopt", "extxover", "extdvs",
 	}
 	ids := IDs()
 	got := map[string]bool{}

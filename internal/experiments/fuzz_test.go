@@ -24,6 +24,11 @@ func FuzzParseEvalRequest(f *testing.F) {
 		`{"scheme":"raw"}`,
 		`{"values":[],"scheme":"raw"}`,
 		`{"values":[1],"scheme":"spatial:width=4"}`,
+		`{"values":[1,2,3],"scheme":"optmem:extra=2"}`,
+		`{"values":[5,6,7],"scheme":"vc:extra=3","lambda":1.5}`,
+		`{"random":500,"scheme":"lowweight:groups=4,extra=1"}`,
+		`{"workload":"li","bus":"reg","quick":true,"scheme":"dvs:extra=2,vdd=80"}`,
+		`{"values":[1],"scheme":"dvs:vdd=49"}`,
 		`not json at all`,
 		`{"values":[1],"scheme":"raw","extra":true}`,
 		`{"values":[1],"scheme":"raw"}{"values":[2],"scheme":"raw"}`,

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"testing"
+)
+
+// seedGoldenSHA256 pins the golden fixtures that existed before the
+// optimal-codebook extension (extopt/extxover/extdvs) landed. The golden
+// conformance test pins experiment *output* against the fixtures; this
+// guard pins the fixtures themselves, so a -update run that silently
+// perturbs a pre-existing table — a formatting tweak, an accidental
+// change to shared evaluation machinery, a reordered row — cannot slip
+// through by regenerating its own expectation. Changing one of these
+// hashes is a deliberate, reviewed act of re-baselining, not a side
+// effect of adding a new experiment.
+var seedGoldenSHA256 = map[string]string{
+	"extaddr":  "9d9617124f596b78a37e51b79d6af31c0ad302bf910220185559c8f866d90a86",
+	"extctx":   "8ddf78b21d6a8cae0940bafef5ddcdcdbfdb0c8e9c6050181d195afa7b0f34aa",
+	"extscale": "5032a93182c1edbbde742db4ab6d05359929d649cdeecaba78a42342426330cb",
+	"extvlc":   "ed5d54e587e33d1143bf377aca0020a7ed4339b49c9e3ec3302ac624aee2fd39",
+	"fig5":     "e1bc338459fb17bf78b285dba9580ce9ed05b88e7324df0bcc4699037a12c8f4",
+	"fig6":     "36f41bda73307421adc63ddb6cc31a132e63a5c9f6925f5649a17f5c29bd9c7b",
+	"fig7":     "18b3d639e89dd861d93125f1230c7dff3ace37647f0ddabde52828030454753f",
+	"fig8":     "b5ffa1ae2bbc21077ce6c93d9926149a454a22b954b28425e1ea7c73374efe8b",
+	"fig15":    "cbd9082e3a4adff1737cd9155e01026b7f49bf8760c79afed8c83d2929a16cb5",
+	"fig16":    "8ee7d9218bfcca09164eceab25b0db632dba84af658674e931f89f3a0153c873",
+	"fig17":    "ecd94a7d4c096bc32e5fee8f326814f597e28584526a7af4026bb9bcd8fd958b",
+	"fig18":    "83a63a93012d46c6cbdb2cbdca5ce0d7edd12420c80a1f4e0d10c62fa0653101",
+	"fig19":    "fb007705c8448878f4871732e5fcde9fa5bdad1224c0e510a7784313444c180b",
+	"fig20":    "396528da41144ab7dfd92d872cea140277dd93a52012cc3487ed1092b0ccc8c2",
+	"fig21":    "6b8432d021dddb7a1e225578a804d6fd7199aa2c3b3abf800cae9f1fb9bca951",
+	"fig22":    "7fe2393ab05f6a8e3827a8aa2d4d47a0830cb5423d6b80232777af044439f8c4",
+	"fig23":    "2002271af65393240ec64a4642690fae65c638b0aedd9cd50429085d41497226",
+	"fig24":    "bfd352c4fe1be13cd313dc501155ee0b75804c8c4666ec2bc9ec7ebca589ef92",
+	"fig25":    "7eb95c13ed6aac2768e53d834996e395b4c5835a0a41517210364b43694ec01c",
+	"fig26":    "b22e561a7fc3c2ddca6a9108abc1c5ecfb6fca6fe3093fd59149b454fd643db4",
+	"fig35":    "8716b33b7193993299b9120944ff22e448fe5bf54233a702d7bfa94528168675",
+	"fig36":    "385956e19379031b2aaff5dc807e49b6f29bc30881466f3b2a3b146165181d2b",
+	"fig37":    "a4c7728dc8f6fc0b3d4694103bbc0deb628ae0a8a7c645faff1eeb084dd0f9df",
+	"fig38":    "278c2221b06bd9f13ce9d71de667d1cd5d915144a2795130514c961c4185228f",
+	"table1":   "c15e0ca61d4fc4f450b1db834c0f3b74129592304b8a0559da3c1370921ae9fd",
+	"table2":   "2abb62ffcd79881afabe8cadb23e0b1ad1374eeb9d1fea3edd612be156462aee",
+	"table3":   "2c33460bdb70fb3f03f2cea754b9c73b2485358fa22ccc5ecdd07f7cbe9af206",
+}
+
+// TestSeedGoldenGuard verifies that every pre-extension golden fixture
+// is byte-identical to its pinned hash. It reads files only — no
+// experiments run — so it is cheap enough to never skip.
+func TestSeedGoldenGuard(t *testing.T) {
+	for id, want := range seedGoldenSHA256 {
+		data, err := os.ReadFile(goldenPath(id))
+		if err != nil {
+			t.Errorf("seed fixture %s unreadable: %v", id, err)
+			continue
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			t.Errorf("seed fixture %s changed: sha256 %s, pinned %s\n"+
+				"pre-existing quick-mode tables must stay byte-identical; if this change is deliberate, re-pin the hash", id, got, want)
+		}
+	}
+}

@@ -171,6 +171,10 @@ var schemeExamples = map[string]string{
 	"stride":    "stride:strides=4",
 	"window":    "window:entries=8",
 	"context":   "context:table=64,sr=8,divide=4096,transition=false",
+	"optmem":    "optmem:extra=2",
+	"vc":        "vc:extra=2",
+	"lowweight": "lowweight:groups=4,extra=1",
+	"dvs":       "dvs:extra=2,vdd=80",
 }
 
 // handleSchemes answers GET /v1/schemes with the accepted scheme grammar.

@@ -57,6 +57,13 @@ func TestEvalEndpointTable(t *testing.T) {
 		{"happy inline", http.MethodPost, evalBody("window:entries=8"), http.StatusOK, `"scheme":"window-8"`},
 		{"happy workload", http.MethodPost, `{"workload":"li","bus":"reg","quick":true,"scheme":"businvert"}`, http.StatusOK, `"source":"workload:li/reg"`},
 		{"happy random", http.MethodPost, `{"random":2000,"scheme":"stride:strides=4","lambda":2}`, http.StatusOK, `"source":"random:2000"`},
+		{"happy optmem", http.MethodPost, evalBody("optmem:extra=2"), http.StatusOK, `"scheme":"optmem-32+2"`},
+		{"happy vc", http.MethodPost, evalBody("vc"), http.StatusOK, `"scheme":"vc-32+2"`},
+		{"happy lowweight", http.MethodPost, evalBody("lowweight:groups=4,extra=1"), http.StatusOK, `"scheme":"lowweight-32g4+1"`},
+		{"happy dvs", http.MethodPost, evalBody("dvs:vdd=70"), http.StatusOK, `"scheme":"dvs-32+2"`},
+		{"bad optmem extra", http.MethodPost, evalBody("optmem:extra=9"), http.StatusBadRequest, "outside"},
+		{"bad dvs rail", http.MethodPost, evalBody("dvs:vdd=40"), http.StatusBadRequest, "outside"},
+		{"unbuildable optmem width", http.MethodPost, evalBody("optmem:extra=2,width=61"), http.StatusBadRequest, "62-wire bus limit"},
 		{"malformed JSON", http.MethodPost, `{"values":[1,2`, http.StatusBadRequest, "bad eval request"},
 		{"not JSON", http.MethodPost, `it's traces all the way down`, http.StatusBadRequest, "bad eval request"},
 		{"trailing garbage", http.MethodPost, evalBody("raw") + `{"again":true}`, http.StatusBadRequest, "trailing data"},
@@ -199,9 +206,29 @@ func TestSchemesAndWorkloadsEndpoints(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("schemes: %d", rec.Code)
 	}
-	for _, kind := range []string{"window", "context", "businvert"} {
+	for _, kind := range []string{"window", "context", "businvert", "optmem", "vc", "lowweight", "dvs"} {
 		if !strings.Contains(rec.Body.String(), fmt.Sprintf("%q", kind)) {
 			t.Errorf("schemes listing missing %q: %s", kind, rec.Body.String())
+		}
+	}
+	// Every advertised kind must ship a non-empty example that builds, so
+	// the listing can never drift from the grammar.
+	var listing struct {
+		Schemes []struct {
+			Kind    string `json:"kind"`
+			Example string `json:"example"`
+		} `json:"schemes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range listing.Schemes {
+		if s.Example == "" {
+			t.Errorf("kind %q has no example", s.Kind)
+			continue
+		}
+		if rec := postEval(srv.Handler(), evalBody(s.Example)); rec.Code != http.StatusOK {
+			t.Errorf("example %q does not evaluate: %d %s", s.Example, rec.Code, rec.Body.String())
 		}
 	}
 	rec = httptest.NewRecorder()
